@@ -1,0 +1,642 @@
+package dana
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (run `go test -bench=. -benchmem`). The figure benchmarks
+// execute the full modeling pipeline (DSL -> hDFG -> compile -> hwgen
+// -> cost model) every iteration and report the headline numbers the
+// paper reports as custom metrics (e.g. geomean speedups). Component
+// benchmarks at the bottom measure the real throughput of the
+// simulators themselves.
+
+import (
+	"fmt"
+	"testing"
+
+	"dana/internal/accessengine"
+	"dana/internal/bufpool"
+	"dana/internal/catalog"
+	"dana/internal/compiler"
+	"dana/internal/datagen"
+	"dana/internal/engine"
+	"dana/internal/experiments"
+	"dana/internal/hdfg"
+	"dana/internal/madlib"
+	"dana/internal/sql"
+	"dana/internal/storage"
+	"dana/internal/strider"
+)
+
+// --- Tables ------------------------------------------------------------
+
+func BenchmarkTable3DatasetInventory(b *testing.B) {
+	env := experiments.DefaultEnv()
+	var pages int
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table3(env)
+		pages = 0
+		for _, r := range rows {
+			pages += r.Pages32K
+		}
+	}
+	b.ReportMetric(float64(pages), "total-32k-pages")
+}
+
+func BenchmarkTable5AbsoluteRuntimes(b *testing.B) {
+	env := experiments.DefaultEnv()
+	var rows []experiments.Table5Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Table5(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.Name == "Remote Sensing LR" {
+			b.ReportMetric(r.PGSec, "rs-lr-madlib-sec")
+			b.ReportMetric(r.DAnASec, "rs-lr-dana-sec")
+		}
+	}
+}
+
+// --- Figures 8-10 --------------------------------------------------------
+
+func benchClassSpeedups(b *testing.B, class string) {
+	env := experiments.DefaultEnv()
+	var warm, cold experiments.SpeedupRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		_, warm, err = experiments.ClassSpeedups(class, env, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, cold, err = experiments.ClassSpeedups(class, env, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(warm.DAnAvsPG, "warm-dana-vs-pg-x")
+	b.ReportMetric(warm.DAnAvsGP, "warm-dana-vs-gp-x")
+	b.ReportMetric(warm.GPvsPG, "warm-gp-vs-pg-x")
+	b.ReportMetric(cold.DAnAvsPG, "cold-dana-vs-pg-x")
+}
+
+func BenchmarkFig8RealDatasets(b *testing.B)        { benchClassSpeedups(b, "real") }
+func BenchmarkFig9SyntheticNominal(b *testing.B)    { benchClassSpeedups(b, "S/N") }
+func BenchmarkFig10SyntheticExtensive(b *testing.B) { benchClassSpeedups(b, "S/E") }
+
+// --- Figure 11 ------------------------------------------------------------
+
+func BenchmarkFig11StriderBenefit(b *testing.B) {
+	env := experiments.DefaultEnv()
+	var gm experiments.StriderRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		_, gm, err = experiments.StriderBenefit(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(gm.WithoutStrider, "without-strider-x")
+	b.ReportMetric(gm.WithStrider, "with-strider-x")
+	b.ReportMetric(gm.WithStrider/gm.WithoutStrider, "strider-amplification-x")
+}
+
+// --- Figure 12 ------------------------------------------------------------
+
+func BenchmarkFig12ThreadSweep(b *testing.B) {
+	env := experiments.DefaultEnv()
+	coefs := []int{1, 4, 16, 64, 256, 1024}
+	for _, name := range experiments.Fig12Workloads {
+		b.Run(name, func(b *testing.B) {
+			var pts []experiments.ThreadPoint
+			for i := 0; i < b.N; i++ {
+				var err error
+				pts, err = experiments.ThreadSweep(name, env, coefs)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			last := pts[len(pts)-1]
+			b.ReportMetric(last.RelRuntime, "runtime-at-1024-rel")
+			b.ReportMetric(100*last.Utilization, "utilization-pct")
+		})
+	}
+}
+
+// --- Figure 13 ------------------------------------------------------------
+
+func BenchmarkFig13SegmentSweep(b *testing.B) {
+	env := experiments.DefaultEnv()
+	var gm experiments.SegmentRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		_, gm, err = experiments.SegmentSweep(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(gm.PG, "pg-rel-to-8seg")
+	b.ReportMetric(gm.Seg4, "4seg-rel-to-8seg")
+	b.ReportMetric(gm.Seg16, "16seg-rel-to-8seg")
+}
+
+// --- Figure 14 ------------------------------------------------------------
+
+func BenchmarkFig14BandwidthSweep(b *testing.B) {
+	env := experiments.DefaultEnv()
+	var rows []experiments.BandwidthRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.BandwidthSweep(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var quarter, quad []float64
+	for _, r := range rows {
+		quarter = append(quarter, r.Speedups[0.25])
+		quad = append(quad, r.Speedups[4])
+	}
+	b.ReportMetric(experiments.Geomean(quarter), "geomean-0.25x-bw")
+	b.ReportMetric(experiments.Geomean(quad), "geomean-4x-bw")
+}
+
+// --- Figure 15 ------------------------------------------------------------
+
+func BenchmarkFig15ExternalLibraries(b *testing.B) {
+	env := experiments.DefaultEnv()
+	var rows []experiments.ExtLibRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.ExternalLibraries(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var danaVsDW []float64
+	for _, r := range rows {
+		danaVsDW = append(danaVsDW, r.DimmWittedSec/r.DAnASec)
+	}
+	b.ReportMetric(experiments.Geomean(danaVsDW), "dana-vs-dimmwitted-x")
+}
+
+// --- Figure 16 ------------------------------------------------------------
+
+func BenchmarkFig16TablaComparison(b *testing.B) {
+	env := experiments.DefaultEnv()
+	var gm experiments.TablaRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		_, gm, err = experiments.TablaComparison(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(gm.Speedup, "dana-vs-tabla-x")
+}
+
+// --- Supplementary experiments and ablations --------------------------------
+
+// BenchmarkPageSizeSweep reproduces the paper's 8/16/32 KB page-size
+// sensitivity study (no significant impact).
+func BenchmarkPageSizeSweep(b *testing.B) {
+	env := experiments.DefaultEnv()
+	var rows []experiments.PageSizeRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.PageSizeSweep(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var worst float64
+	for _, r := range rows {
+		for _, v := range []float64{r.PG8K, r.PG16K} {
+			if d := v - 1; d > worst || -d > worst {
+				if d < 0 {
+					d = -d
+				}
+				worst = d
+			}
+		}
+	}
+	b.ReportMetric(100*worst, "max-sensitivity-pct")
+}
+
+// BenchmarkBatchConvergence runs the functional batch-size/epochs study
+// on one workload (supplementary tables).
+func BenchmarkBatchConvergence(b *testing.B) {
+	env := experiments.DefaultEnv()
+	var rows []experiments.ConvergenceRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.BatchConvergence([]string{"Remote Sensing LR"}, env, 0.002, 0.5, 300)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(rows[0].Epochs[1]), "epochs-batch1")
+	b.ReportMetric(float64(rows[0].Epochs[64]), "epochs-batch64")
+}
+
+// BenchmarkDesignAblations scores the DESIGN.md ablation study.
+func BenchmarkDesignAblations(b *testing.B) {
+	env := experiments.DefaultEnv()
+	var gm experiments.AblationRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		_, gm, err = experiments.Ablations(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(gm.Full, "full-x")
+	b.ReportMetric(gm.NoInterleave, "no-interleave-x")
+	b.ReportMetric(gm.TupleGranularity, "tuple-dma-x")
+	b.ReportMetric(gm.NoStrider, "no-strider-x")
+}
+
+// BenchmarkStriderInnoDBWalk measures the MySQL/InnoDB chain walker.
+func BenchmarkStriderInnoDBWalk(b *testing.B) {
+	schema := storage.NumericSchema(54)
+	rel := storage.NewInnoRelation("bench", schema, storage.PageSize32K)
+	for i := 0; i < 256; i++ {
+		if err := rel.Insert(make([]float64, 55)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	page, err := rel.Page(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, cfg, err := strider.GenerateInnoDB(strider.InnoDBLayout(storage.PageSize32K, schema))
+	if err != nil {
+		b.Fatal(err)
+	}
+	vm := strider.NewVM(prog, cfg)
+	b.SetBytes(int64(storage.PageSize32K))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := vm.Run([]byte(page)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Component throughput benchmarks ---------------------------------------
+
+// BenchmarkStriderPageWalk measures the Strider VM unpacking full 32 KB
+// pages (tuple extraction throughput in tuples/sec).
+func BenchmarkStriderPageWalk(b *testing.B) {
+	schema := storage.NumericSchema(54)
+	rel := storage.NewRelation("bench", schema, storage.PageSize32K)
+	rows := make([][]float64, 0, 256)
+	for i := 0; i < 256; i++ {
+		vals := make([]float64, 55)
+		for j := range vals {
+			vals[j] = float64(i + j)
+		}
+		rows = append(rows, vals)
+	}
+	if err := rel.InsertBatch(rows); err != nil {
+		b.Fatal(err)
+	}
+	page, err := rel.Page(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, cfg, err := strider.Generate(strider.PostgresLayout(storage.PageSize32K))
+	if err != nil {
+		b.Fatal(err)
+	}
+	vm := strider.NewVM(prog, cfg)
+	tuplesPerPage := page.NumItems()
+	b.SetBytes(int64(storage.PageSize32K))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := vm.Run(page); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(tuplesPerPage)*float64(b.N)/b.Elapsed().Seconds(), "tuples/s")
+}
+
+// BenchmarkAccessEngineDeformat measures page -> float32 record
+// conversion through the full access engine.
+func BenchmarkAccessEngineDeformat(b *testing.B) {
+	schema := storage.NumericSchema(54)
+	rel := storage.NewRelation("bench", schema, storage.PageSize32K)
+	for i := 0; i < 129; i++ {
+		vals := make([]float64, 55)
+		if _, err := rel.Insert(vals); err != nil {
+			b.Fatal(err)
+		}
+	}
+	page, _ := rel.Page(0)
+	ae, err := accessengine.New(strider.PostgresLayout(storage.PageSize32K), schema, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(storage.PageSize32K))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ae.ProcessPage(page); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineUpdateRule measures the execution-engine simulator's
+// per-tuple update throughput (linear regression, 54 features, 8-way
+// merge).
+func BenchmarkEngineUpdateRule(b *testing.B) {
+	w, _ := datagen.ByName("Remote Sensing LR")
+	d, err := datagen.Generate(w, 0.001, storage.PageSize32K, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := d.DSLAlgo(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := hdfg.Translate(a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := compiler.Compile(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := engine.NewMachine(prog, engine.Config{
+		Threads: 8, ACsPerThread: 2, AUsPerAC: 8, ClockHz: 150e6,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch := make([][]float32, 8)
+	for i := range batch {
+		batch[i] = make([]float32, 55)
+		for j := range batch[i] {
+			batch[i][j] = float32(j)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.RunBatch(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(8*b.N)/b.Elapsed().Seconds(), "tuples/s")
+}
+
+// BenchmarkInterpreterUpdateRule is the float64 golden model's
+// throughput on the same update rule, for comparison.
+func BenchmarkInterpreterUpdateRule(b *testing.B) {
+	w, _ := datagen.ByName("Remote Sensing LR")
+	d, err := datagen.Generate(w, 0.001, storage.PageSize32K, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := d.DSLAlgo(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := hdfg.Translate(a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	it, err := hdfg.NewInterp(g, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch := make([][]float64, 8)
+	for i := range batch {
+		batch[i] = make([]float64, 55)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := it.StepBatch(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBufferPoolPin measures hit-path pin/unpin latency.
+func BenchmarkBufferPoolPin(b *testing.B) {
+	schema := storage.NumericSchema(9)
+	rel := storage.NewRelation("bench", schema, storage.PageSize8K)
+	if _, err := rel.Insert(make([]float64, 10)); err != nil {
+		b.Fatal(err)
+	}
+	pool := bufpool.New(16, storage.PageSize8K, bufpool.DefaultDisk())
+	if err := pool.AttachRelation(rel); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pool.Pin("bench", 0); err != nil {
+			b.Fatal(err)
+		}
+		if err := pool.Unpin("bench", 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSQLSeqScan measures the volcano executor's scan rate.
+func BenchmarkSQLSeqScan(b *testing.B) {
+	db := sql.NewDB(storage.PageSize8K, 16<<20, bufpool.DefaultDisk())
+	if _, err := db.Exec("CREATE TABLE t (a float4, b float4, c float4)"); err != nil {
+		b.Fatal(err)
+	}
+	stmt := "INSERT INTO t VALUES "
+	for i := 0; i < 1000; i++ {
+		if i > 0 {
+			stmt += ", "
+		}
+		stmt += fmt.Sprintf("(%d, %d, %d)", i, i+1, i+2)
+	}
+	if _, err := db.Exec(stmt); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := db.Exec("SELECT COUNT(*) FROM t WHERE a >= 500")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Rows[0][0] != 500 {
+			b.Fatal("wrong count")
+		}
+	}
+	b.ReportMetric(1000*float64(b.N)/b.Elapsed().Seconds(), "tuples/s")
+}
+
+// BenchmarkMADlibEpoch measures the functional MADlib baseline.
+func BenchmarkMADlibEpoch(b *testing.B) {
+	w, _ := datagen.ByName("Remote Sensing LR")
+	d, err := datagen.Generate(w, 0.005, storage.PageSize32K, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pool := bufpool.New(256, storage.PageSize32K, bufpool.DefaultDisk())
+	if err := pool.AttachRelation(d.Rel); err != nil {
+		b.Fatal(err)
+	}
+	tr, err := madlib.New(pool, d.Rel, d.MLAlgorithm())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := tr.Train(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(d.Tuples)*float64(b.N)/b.Elapsed().Seconds(), "tuples/s")
+}
+
+// BenchmarkDAnAFunctionalEpoch measures the full functional pipeline:
+// buffer pool -> striders -> execution engine, per epoch.
+func BenchmarkDAnAFunctionalEpoch(b *testing.B) {
+	eng, err := Open(Config{PageSize: 32 << 10, PoolBytes: 128 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := eng.LoadWorkload("Remote Sensing LR", 0.005, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := d.DSLAlgo(64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a.SetEpochs(1)
+	if err := eng.RegisterUDF(a, 64); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Train(a.Name, d.Rel.Name); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(d.Tuples)*float64(b.N)/b.Elapsed().Seconds(), "tuples/s")
+}
+
+// BenchmarkCompilePipeline measures DSL -> hDFG -> program -> design.
+func BenchmarkCompilePipeline(b *testing.B) {
+	env := experiments.DefaultEnv()
+	w, _ := datagen.ByName("S/N Logistic")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.CompileWorkload(w, env, 1024); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTupleCodec measures heap tuple encode+decode.
+func BenchmarkTupleCodec(b *testing.B) {
+	schema := storage.NumericSchema(54)
+	vals := make([]float64, 55)
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		raw, err := storage.EncodeTuple(schema, vals, 1, storage.TID{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := storage.DecodeTuple(schema, nil, raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(schema.DataWidth()))
+}
+
+// BenchmarkMicroMachineUpdateRule measures the micro-level simulator
+// (lowered per-AC selective-SIMD streams) on the linear update rule.
+func BenchmarkMicroMachineUpdateRule(b *testing.B) {
+	w, _ := datagen.ByName("Remote Sensing LR")
+	d, err := datagen.Generate(w, 0.001, storage.PageSize32K, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := d.DSLAlgo(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := hdfg.Translate(a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := compiler.Compile(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mp, err := engine.Lower(prog, engine.Config{Threads: 1, ACsPerThread: 4, AUsPerAC: 8, ClockHz: 150e6})
+	if err != nil {
+		b.Fatal(err)
+	}
+	mic := engine.NewMicroMachine(mp)
+	tuple := make([]float32, 55)
+	for j := range tuple {
+		tuple[j] = float32(j)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := mic.RunTuple(tuple); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkListScheduler measures the §6.2 list scheduler on a compiled
+// per-tuple program.
+func BenchmarkListScheduler(b *testing.B) {
+	env := experiments.DefaultEnv()
+	w, _ := datagen.ByName("S/N Logistic")
+	c, err := experiments.CompileWorkload(w, env, 1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var ilp float64
+	for i := 0; i < b.N; i++ {
+		s := compiler.ScheduleProgram(c.Program, c.Design.Engine)
+		ilp = s.ILP()
+	}
+	b.ReportMetric(ilp, "ilp")
+}
+
+// BenchmarkStriderPostgresVsInnoDB contrasts the two layout walkers on
+// identical data (see examples/mysqlpages).
+func BenchmarkCatalogSerialization(b *testing.B) {
+	env := experiments.DefaultEnv()
+	w, _ := datagen.ByName("Remote Sensing LR")
+	c, err := experiments.CompileWorkload(w, env, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sprog, scfg, err := strider.Generate(strider.PostgresLayout(storage.PageSize32K))
+	if err != nil {
+		b.Fatal(err)
+	}
+	acc := &catalog.Accelerator{
+		UDFName: "bench", Program: c.Program, StriderProg: sprog, StriderCfg: scfg, Design: c.Design,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data, err := catalog.ExportAccelerator(acc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := catalog.ImportAccelerator(data); err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(len(data)))
+	}
+}

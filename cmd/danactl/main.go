@@ -1,0 +1,134 @@
+// Command danactl drives a DAnA-enhanced database end to end: it loads
+// a Table 3 workload (scaled), registers the matching UDF, and runs the
+// accelerated training query, printing the hardware design and
+// pipeline statistics.
+//
+//	danactl -workload "Remote Sensing LR" -scale 0.01 -merge 64 -epochs 3
+//	danactl -sql "SELECT COUNT(*) FROM remote_sensing_lr" -workload "Remote Sensing LR" -scale 0.01
+//	danactl -udf my_udf.dsl -workload Patient -scale 0.01   # custom DSL file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dana"
+	"dana/internal/engine"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "Remote Sensing LR", "Table 3 workload name")
+		scale    = flag.Float64("scale", 0.01, "fraction of the full tuple count to generate")
+		merge    = flag.Int("merge", 64, "merge coefficient (max accelerator threads)")
+		epochs   = flag.Int("epochs", 3, "training epochs")
+		pageKB   = flag.Int("page", 32, "page size in KB (8, 16, 32)")
+		seed     = flag.Int64("seed", 1, "dataset generator seed")
+		udfFile  = flag.String("udf", "", "optional DSL source file overriding the built-in UDF")
+		sqlStmt  = flag.String("sql", "", "optional SQL to run instead of training")
+		listing  = flag.Bool("listing", false, "print the compiled accelerator program listing")
+	)
+	flag.Parse()
+
+	eng, err := dana.Open(dana.Config{PageSize: *pageKB << 10, PoolBytes: 256 << 20})
+	check(err)
+
+	ds, err := eng.LoadWorkload(*workload, *scale, *seed)
+	check(err)
+	fmt.Printf("loaded %q as table %q: %d tuples, %d pages of %d KB\n",
+		ds.Workload.Name, ds.Rel.Name, ds.Tuples, ds.Rel.NumPages(), *pageKB)
+
+	if *sqlStmt != "" {
+		res, err := eng.SQL(*sqlStmt)
+		check(err)
+		printResult(res)
+		return
+	}
+
+	var algo *dana.Algo
+	if *udfFile != "" {
+		src, err := os.ReadFile(*udfFile)
+		check(err)
+		algo, err = dana.ParseUDF(string(src))
+		check(err)
+		check(eng.RegisterUDF(algo, *merge))
+	} else {
+		a, err := ds.DSLAlgo(*merge)
+		check(err)
+		a.SetEpochs(*epochs)
+		algo = a
+		check(eng.RegisterUDF(algo, *merge))
+	}
+
+	res, err := eng.Train(algo.Name, ds.Rel.Name)
+	check(err)
+	fmt.Printf("\naccelerator design: %s\n", res.Design)
+	fmt.Printf("trained %q for %d epochs over %d tuples\n", algo.Name, res.Epochs, res.Engine.Tuples)
+	fmt.Printf("engine:  %d cycles (%d compute, %d merge, %d load), %d instructions\n",
+		res.Engine.Cycles, res.Engine.ComputeCycles, res.Engine.MergeCycles,
+		res.Engine.LoadCycles, res.Engine.Instructions)
+	fmt.Printf("strider: %d pages, %d tuples, %d cycles across %d striders\n",
+		res.Access.Pages, res.Access.Tuples, res.Access.Cycles, res.Design.NumStriders)
+	fmt.Printf("buffer pool: %d hits, %d misses, %.3fs simulated I/O\n",
+		res.Pool.Hits, res.Pool.Misses, res.Pool.IOSeconds)
+	fmt.Printf("simulated end-to-end: %.4fs\n", res.SimulatedSeconds)
+	if n := len(res.Model); n > 0 {
+		show := n
+		if show > 8 {
+			show = 8
+		}
+		fmt.Printf("model[0:%d] = %v\n", show, res.Model[:show])
+	}
+	if *listing {
+		fmt.Printf("\nUDF source (re-rendered from the catalog form):\n%s", dana.RenderUDF(algo))
+		acc, ok := eng.Catalog().Accelerator(algo.Name)
+		if ok {
+			fmt.Printf("\nstrider program:\n")
+			for _, in := range acc.StriderProg {
+				fmt.Printf("  %s\n", in)
+			}
+			fmt.Printf("\nexecution engine program:\n%s", engine.Listing(acc.Program))
+			if mp, err := engine.Lower(acc.Program, acc.Design.Engine); err == nil {
+				pt, pm, cv := mp.Count()
+				fmt.Printf("\nmicro-instruction footprint: %d per-tuple, %d post-merge, %d convergence\n", pt, pm, cv)
+				show := mp.PerTuple
+				if len(show) > 12 {
+					show = show[:12]
+				}
+				for _, mi := range show {
+					fmt.Printf("  %s\n", mi)
+				}
+				if len(mp.PerTuple) > 12 {
+					fmt.Printf("  ... (%d more)\n", len(mp.PerTuple)-12)
+				}
+			}
+		}
+	}
+}
+
+func printResult(res *dana.Result) {
+	if res.Msg != "" {
+		fmt.Println(res.Msg)
+	}
+	if len(res.Cols) > 0 {
+		fmt.Println(res.Cols)
+	}
+	max := len(res.Rows)
+	if max > 20 {
+		max = 20
+	}
+	for _, row := range res.Rows[:max] {
+		fmt.Println(row)
+	}
+	if len(res.Rows) > max {
+		fmt.Printf("... (%d rows total)\n", len(res.Rows))
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "danactl:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,108 @@
+// Command striderasm assembles, disassembles, and executes Strider ISA
+// programs (paper §5.1.2, Table 2).
+//
+//	striderasm -asm prog.s                # assemble, print 22-bit words
+//	striderasm -dis words.hex             # disassemble hex words
+//	striderasm -gen -page 32768           # emit the page-walker program
+//	striderasm -run prog.s -page 8192 -tuples 10 -features 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"dana/internal/storage"
+	"dana/internal/strider"
+)
+
+func main() {
+	var (
+		asmFile  = flag.String("asm", "", "assemble a Strider assembly file")
+		disFile  = flag.String("dis", "", "disassemble a file of hex instruction words")
+		gen      = flag.Bool("gen", false, "generate the PostgreSQL page-walker program")
+		runFile  = flag.String("run", "", "assemble and execute a program against a synthetic page")
+		pageSize = flag.Int("page", 8192, "page size in bytes")
+		tuples   = flag.Int("tuples", 10, "tuples on the synthetic page (-run)")
+		features = flag.Int("features", 4, "feature columns on the synthetic page (-run)")
+	)
+	flag.Parse()
+
+	switch {
+	case *asmFile != "":
+		src, err := os.ReadFile(*asmFile)
+		check(err)
+		prog, err := strider.Assemble(string(src))
+		check(err)
+		for _, w := range strider.EncodeProgram(prog) {
+			fmt.Printf("%06x\n", w)
+		}
+	case *disFile != "":
+		src, err := os.ReadFile(*disFile)
+		check(err)
+		var words []uint32
+		for _, line := range strings.Fields(string(src)) {
+			v, err := strconv.ParseUint(line, 16, 32)
+			check(err)
+			words = append(words, uint32(v))
+		}
+		prog, err := strider.DecodeProgram(words)
+		check(err)
+		fmt.Print(strider.Disassemble(prog))
+	case *gen:
+		prog, cfg, err := strider.Generate(strider.PostgresLayout(*pageSize))
+		check(err)
+		fmt.Print(strider.Disassemble(prog))
+		fmt.Printf("\\\\ field table: off=%v len=%v flags=%v\n",
+			cfg.Fields[0], cfg.Fields[1], cfg.Fields[2])
+	case *runFile != "":
+		src, err := os.ReadFile(*runFile)
+		check(err)
+		prog, err := strider.Assemble(string(src))
+		check(err)
+		_, cfg, err := strider.Generate(strider.PostgresLayout(*pageSize))
+		check(err)
+		page := buildPage(*pageSize, *tuples, *features)
+		vm := strider.NewVM(prog, cfg)
+		check(vm.Run(page))
+		fmt.Printf("emitted %d bytes in %d cycles\n", len(vm.Out()), vm.Cycles())
+		for i := 0; i < len(vm.Out()) && i < 64; i += 16 {
+			end := i + 16
+			if end > len(vm.Out()) {
+				end = len(vm.Out())
+			}
+			fmt.Printf("  %04x: % x\n", i, vm.Out()[i:end])
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func buildPage(pageSize, tuples, features int) storage.Page {
+	schema := storage.NumericSchema(features)
+	page := storage.NewPage(pageSize, 0)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < tuples; i++ {
+		vals := make([]float64, features+1)
+		for j := range vals {
+			vals[j] = float64(float32(rng.NormFloat64()))
+		}
+		raw, err := storage.EncodeTuple(schema, vals, 1, storage.TID{Item: uint16(i)})
+		check(err)
+		if _, err := page.AddItem(raw); err != nil {
+			break
+		}
+	}
+	return page
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "striderasm:", err)
+		os.Exit(1)
+	}
+}

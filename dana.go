@@ -1,0 +1,206 @@
+// Package dana is the public API of the DAnA reproduction: in-RDBMS
+// hardware acceleration of advanced analytics (Mahajan et al., VLDB
+// 2018). It bundles a PostgreSQL-style storage engine and SQL front
+// end with an FPGA accelerator simulator whose Striders read training
+// pages straight out of the buffer pool.
+//
+// Typical use:
+//
+//	eng, _ := dana.Open(dana.Defaults())
+//	algo, _ := dana.ParseUDF(udfSource) // the paper's Python DSL
+//	eng.RegisterUDF(algo, 64)
+//	res, _ := eng.SQL("SELECT * FROM dana.linearR('training_data_table')")
+package dana
+
+import (
+	"fmt"
+
+	"dana/internal/bufpool"
+	"dana/internal/catalog"
+	"dana/internal/cost"
+	"dana/internal/datagen"
+	"dana/internal/dsl"
+	"dana/internal/greenplum"
+	"dana/internal/hwgen"
+	"dana/internal/madlib"
+	"dana/internal/ml"
+	"dana/internal/runtime"
+	"dana/internal/sql"
+	"dana/internal/storage"
+)
+
+// Config controls an Engine instance.
+type Config struct {
+	// PageSize is the heap/buffer page size in bytes (8, 16, or 32 KB;
+	// the paper's default is 32 KB).
+	PageSize int
+	// PoolBytes is the in-process buffer pool budget.
+	PoolBytes int64
+	// MaxEpochs caps functional training (0 = the UDF's own budget).
+	MaxEpochs int
+}
+
+// Defaults returns the paper's default setup at in-process scale.
+func Defaults() Config {
+	return Config{PageSize: storage.PageSize32K, PoolBytes: 256 << 20}
+}
+
+// Engine is a DAnA-enhanced database.
+type Engine struct {
+	sys *runtime.System
+}
+
+// Open creates an engine.
+func Open(cfg Config) (*Engine, error) {
+	if cfg.PageSize == 0 {
+		cfg = Defaults()
+	}
+	switch cfg.PageSize {
+	case storage.PageSize8K, storage.PageSize16K, storage.PageSize32K:
+	default:
+		return nil, fmt.Errorf("dana: unsupported page size %d", cfg.PageSize)
+	}
+	opts := runtime.DefaultOptions()
+	opts.PageSize = cfg.PageSize
+	opts.PoolBytes = cfg.PoolBytes
+	opts.MaxEpochs = cfg.MaxEpochs
+	return &Engine{sys: runtime.New(opts)}, nil
+}
+
+// SQL parses and executes a SQL script, returning the last result.
+// UDF invocations (`SELECT * FROM dana.<udf>('table')`) run on the
+// simulated accelerator.
+func (e *Engine) SQL(script string) (*Result, error) {
+	r, err := e.sys.DB.Exec(script)
+	if err != nil {
+		return nil, err
+	}
+	return (*Result)(r), nil
+}
+
+// Result is a materialized query result.
+type Result sql.Result
+
+// RegisterUDF translates, compiles, and hardware-generates a UDF,
+// storing the accelerator in the catalog. mergeCoef bounds the thread
+// count (0 uses the UDF's own merge coefficient).
+func (e *Engine) RegisterUDF(a *Algo, mergeCoef int) error {
+	rel := 1 << 16
+	_, err := e.sys.Register(a, mergeCoef, rel)
+	return err
+}
+
+// RegisterUDFSource parses the paper's Python-embedded DSL text and
+// registers the resulting UDF.
+func (e *Engine) RegisterUDFSource(src string, mergeCoef int) (*Algo, error) {
+	a, err := dsl.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.RegisterUDF(a, mergeCoef); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// Train runs the DAnA pipeline for a registered UDF over a table.
+func (e *Engine) Train(udfName, table string) (*runtime.TrainResult, error) {
+	return e.sys.Train(udfName, table)
+}
+
+// Catalog exposes the system catalog.
+func (e *Engine) Catalog() *catalog.Catalog { return e.sys.Catalog() }
+
+// Pool exposes the buffer pool (for warm/cold cache control).
+func (e *Engine) Pool() *bufpool.Pool { return e.sys.Pool() }
+
+// WarmCache pre-loads a table into the buffer pool (the paper's
+// warm-cache experimental setting).
+func (e *Engine) WarmCache(table string) error { return e.sys.WarmTable(table) }
+
+// ColdCache drops every cached page (the cold-cache setting). It fails
+// if any page is pinned.
+func (e *Engine) ColdCache() error { return e.sys.DropCaches() }
+
+// CostParams exposes the calibrated environment constants.
+func (e *Engine) CostParams() cost.Params { return e.sys.Opts.Cost }
+
+// FPGA returns the modeled device (Xilinx VU9P by default).
+func (e *Engine) FPGA() hwgen.FPGA { return e.sys.Opts.FPGA }
+
+// --- Workloads ---------------------------------------------------------
+
+// Workload re-exports the Table 3 workload descriptors.
+type Workload = datagen.Workload
+
+// Workloads lists all 14 evaluation workloads (paper Table 3).
+func Workloads() []Workload { return datagen.Workloads }
+
+// WorkloadByName looks a workload up by its name or table name.
+func WorkloadByName(name string) (Workload, error) { return datagen.ByName(name) }
+
+// Dataset is a generated training relation.
+type Dataset = datagen.Dataset
+
+// LoadWorkload generates a synthetic instance of a Table 3 workload at
+// the given scale and deploys it into the engine (catalog + pool).
+func (e *Engine) LoadWorkload(name string, scale float64, seed int64) (*Dataset, error) {
+	w, err := datagen.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	d, err := datagen.Generate(w, scale, e.sys.Opts.PageSize, seed)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.sys.Deploy(d); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// --- Baselines ---------------------------------------------------------
+
+// BaselineResult reports a CPU-baseline training run.
+type BaselineResult struct {
+	Model     []float64
+	Epochs    int
+	Tuples    int64
+	FinalLoss float64
+}
+
+// TrainMADlib runs the MADlib+PostgreSQL baseline (single-threaded
+// in-database IGD) on a deployed table.
+func (e *Engine) TrainMADlib(table string, algo ml.Algorithm, epochs int) (*BaselineResult, error) {
+	rel, err := e.sys.Catalog().Table(table)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := madlib.New(e.sys.Pool(), rel, algo)
+	if err != nil {
+		return nil, err
+	}
+	model, st, err := tr.Train(epochs)
+	if err != nil {
+		return nil, err
+	}
+	return &BaselineResult{Model: model, Epochs: st.Epochs, Tuples: st.Tuples, FinalLoss: st.FinalLoss}, nil
+}
+
+// TrainGreenplum runs the MADlib+Greenplum baseline (segmented parallel
+// IGD with model averaging).
+func (e *Engine) TrainGreenplum(table string, algo ml.Algorithm, segments, epochs int) (*BaselineResult, error) {
+	rel, err := e.sys.Catalog().Table(table)
+	if err != nil {
+		return nil, err
+	}
+	cl, err := greenplum.New(e.sys.Pool(), rel, algo, segments)
+	if err != nil {
+		return nil, err
+	}
+	model, st, err := cl.Train(epochs)
+	if err != nil {
+		return nil, err
+	}
+	return &BaselineResult{Model: model, Epochs: st.Epochs, Tuples: st.Tuples, FinalLoss: st.FinalLoss}, nil
+}

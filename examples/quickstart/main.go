@@ -1,0 +1,96 @@
+// Quickstart: the paper's linear regression example (§4.3) end to end.
+//
+// A training table is created and filled through SQL, the UDF is
+// written in DAnA's Python-embedded DSL exactly as it appears in the
+// paper, and `SELECT * FROM dana.linearR('points')` trains it on the
+// simulated FPGA, with Striders unpacking the raw heap pages.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"strings"
+
+	"dana"
+)
+
+const udfSource = `
+#Data Declarations
+mo = dana.model([4])
+in = dana.input([4])
+out = dana.output()
+lr = dana.meta(0.05) #learning rate
+linearR = dana.algo(mo, in, out)
+#Gradient or Derivative of the Loss Function
+s = sigma(mo * in, 1)
+er = s - out
+grad = er * in
+#Gradient Descent Optimizer
+up = lr * grad
+mo_up = mo - up
+linearR.setModel(mo_up)
+#Merge function: 8 parallel update-rule threads, summed gradients
+merge_coef = dana.meta(8)
+grad = linearR.merge(grad, merge_coef, "+")
+linearR.setEpochs(60)
+`
+
+func main() {
+	eng, err := dana.Open(dana.Config{PageSize: 8 << 10, PoolBytes: 64 << 20})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 1. Create and populate a training table with plain SQL. The
+	// hidden relationship is y = 2a - b + 0.5c + 3d.
+	if _, err := eng.SQL("CREATE TABLE points (a float4, b float4, c float4, d float4, y float4)"); err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	var sb strings.Builder
+	sb.WriteString("INSERT INTO points VALUES ")
+	for i := 0; i < 2000; i++ {
+		a, b, c, d := rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()
+		y := 2*a - b + 0.5*c + 3*d
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "(%g, %g, %g, %g, %g)", a, b, c, d, y)
+	}
+	if _, err := eng.SQL(sb.String()); err != nil {
+		log.Fatal(err)
+	}
+	count, err := eng.SQL("SELECT COUNT(*) FROM points")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded %d training tuples\n", int(count.Rows[0][0]))
+
+	// 2. Register the UDF, written in the paper's DSL.
+	if _, err := eng.RegisterUDFSource(udfSource, 8); err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Train on the accelerator through SQL.
+	res, err := eng.SQL("SELECT * FROM dana.linearR('points')")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Msg)
+	fmt.Println("learned model (want ~ [2 -1 0.5 3]):")
+	for _, row := range res.Rows {
+		fmt.Printf("  w[%d] = %+.4f\n", int(row[0]), row[1])
+	}
+
+	// 4. Inspect what the hardware generator built.
+	tr, err := eng.Train("linearR", "points")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ndesign: %s\n", tr.Design)
+	fmt.Printf("engine cycles: %d, strider cycles: %d, simulated %.4fs\n",
+		tr.Engine.Cycles, tr.Access.Cycles, tr.SimulatedSeconds)
+}

@@ -1,0 +1,93 @@
+// Recommender: low-rank matrix factorization on a Netflix-style rating
+// table (the paper's LRMF workload). The model stacks user factors on
+// item factors; each rating tuple gathers its two rows, computes the
+// prediction error, and scatters updated rows back — exercising DAnA's
+// gather/scatter model addressing and the single-threaded LRMF design
+// point (§7.2: LRMF gains little from multi-threading).
+//
+//	go run ./examples/recommender
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"dana"
+)
+
+func main() {
+	eng, err := dana.Open(dana.Config{PageSize: 8 << 10, PoolBytes: 128 << 20})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ds, err := eng.LoadWorkload("Netflix", 0.002, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	users, items, rank := ds.Topology[0], ds.Topology[1], ds.Topology[2]
+	fmt.Printf("ratings table %q: %d ratings, %d users x %d items, rank %d\n",
+		ds.Rel.Name, ds.Tuples, users, items, rank)
+
+	algo, err := ds.DSLAlgo(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	algo.SetEpochs(8)
+	if err := eng.RegisterUDF(algo, 1); err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := eng.Train(algo.Name, ds.Rel.Name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("design: %s\n", res.Design)
+	fmt.Printf("trained %d epochs, %d engine cycles\n", res.Epochs, res.Engine.Cycles)
+
+	// Evaluate RMSE of the factor model over the training ratings.
+	ratings, err := eng.SQL("SELECT * FROM " + ds.Rel.Name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var se float64
+	for _, r := range ratings.Rows {
+		u, v, rating := int(r[0]), int(r[1]), r[2]
+		var pred float64
+		for k := 0; k < rank; k++ {
+			pred += float64(res.Model[u*rank+k]) * float64(res.Model[v*rank+k])
+		}
+		se += (pred - rating) * (pred - rating)
+	}
+	rmse := math.Sqrt(se / float64(len(ratings.Rows)))
+	fmt.Printf("training RMSE after %d epochs: %.4f\n", res.Epochs, rmse)
+
+	// Recommend: top items for user 0 by predicted rating.
+	type scored struct {
+		item int
+		pred float64
+	}
+	best := make([]scored, 0, 3)
+	for it := 0; it < items; it++ {
+		var pred float64
+		row := users + it
+		for k := 0; k < rank; k++ {
+			pred += float64(res.Model[0*rank+k]) * float64(res.Model[row*rank+k])
+		}
+		best = append(best, scored{it, pred})
+	}
+	for i := 0; i < 3; i++ {
+		top := i
+		for j := i + 1; j < len(best); j++ {
+			if best[j].pred > best[top].pred {
+				top = j
+			}
+		}
+		best[i], best[top] = best[top], best[i]
+	}
+	fmt.Println("top-3 recommendations for user 0:")
+	for _, s := range best[:3] {
+		fmt.Printf("  item %d: predicted rating %.3f\n", s.item, s.pred)
+	}
+}

@@ -1,0 +1,3 @@
+module dana
+
+go 1.22

@@ -1,0 +1,190 @@
+// Package accessengine implements DAnA's multi-threaded access engine
+// (paper §5.1, Figure 5): page buffers each served by a Strider that
+// unpacks raw database pages, plus the conversion of extracted column
+// bytes into the float32 values the execution engine consumes.
+//
+// Page-level parallelism is explicit: with S striders, S pages unpack
+// concurrently, so the access-engine cycles for a page group are the
+// maximum over its striders rather than the sum — the property that
+// lets extraction interleave with execution (§5.1.1).
+package accessengine
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"dana/internal/storage"
+	"dana/internal/strider"
+)
+
+// Engine is a configured access engine for one relation schema and page
+// layout.
+type Engine struct {
+	Layout      strider.PageLayout
+	Schema      *storage.Schema
+	NumStriders int
+
+	prog []strider.Instr
+	cfg  strider.Config
+	vms  []*strider.VM
+
+	stats Stats
+}
+
+// Stats counts access-engine activity.
+type Stats struct {
+	Pages       int64
+	Tuples      int64
+	Bytes       int64 // payload bytes emitted to the execution engine
+	Cycles      int64 // strider cycles (max across concurrent striders per group)
+	TotalCycles int64 // sum of strider cycles across all striders (utilization)
+}
+
+// New builds the engine: it generates the Strider program for the page
+// layout (compiler step) and instantiates the page-buffer/Strider pairs.
+func New(layout strider.PageLayout, schema *storage.Schema, numStriders int) (*Engine, error) {
+	prog, cfg, err := strider.Generate(layout)
+	if err != nil {
+		return nil, err
+	}
+	return newWith(layout, schema, numStriders, prog, cfg)
+}
+
+// NewInnoDB builds an access engine for MySQL/InnoDB-style pages: the
+// Striders run the chain-walking program instead of the line-pointer
+// walker, demonstrating the ISA's cross-engine portability (§5.1.2).
+func NewInnoDB(pageSize int, schema *storage.Schema, numStriders int) (*Engine, error) {
+	prog, cfg, err := strider.GenerateInnoDB(strider.InnoDBLayout(pageSize, schema))
+	if err != nil {
+		return nil, err
+	}
+	return newWith(strider.PageLayout{PageSize: pageSize}, schema, numStriders, prog, cfg)
+}
+
+func newWith(layout strider.PageLayout, schema *storage.Schema, numStriders int, prog []strider.Instr, cfg strider.Config) (*Engine, error) {
+	if numStriders < 1 {
+		return nil, fmt.Errorf("accessengine: need at least one strider, got %d", numStriders)
+	}
+	e := &Engine{Layout: layout, Schema: schema, NumStriders: numStriders, prog: prog, cfg: cfg}
+	for i := 0; i < numStriders; i++ {
+		e.vms = append(e.vms, strider.NewVM(prog, cfg))
+	}
+	return e, nil
+}
+
+// Program returns the generated Strider program (for the catalog).
+func (e *Engine) Program() []strider.Instr { return e.prog }
+
+// Config returns the Strider configuration (for the catalog).
+func (e *Engine) Config() strider.Config { return e.cfg }
+
+// Stats returns a snapshot of the counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// ResetStats zeroes the counters.
+func (e *Engine) ResetStats() { e.stats = Stats{} }
+
+// Deformat converts one tuple's payload bytes into float32 values, one
+// per column (ints converted to float; float8 narrowed). This is the
+// "transform user data into a floating point format" step of §6.2.
+func Deformat(schema *storage.Schema, data []byte, dst []float32) ([]float32, error) {
+	if len(data) < schema.DataWidth() {
+		return dst, fmt.Errorf("accessengine: payload %d bytes, schema needs %d", len(data), schema.DataWidth())
+	}
+	for i, col := range schema.Cols {
+		off := schema.ColOffset(i)
+		switch col.Type {
+		case storage.TFloat32:
+			dst = append(dst, math.Float32frombits(binary.LittleEndian.Uint32(data[off:])))
+		case storage.TFloat64:
+			dst = append(dst, float32(math.Float64frombits(binary.LittleEndian.Uint64(data[off:]))))
+		case storage.TInt32:
+			dst = append(dst, float32(int32(binary.LittleEndian.Uint32(data[off:]))))
+		case storage.TInt64:
+			dst = append(dst, float32(int64(binary.LittleEndian.Uint64(data[off:]))))
+		default:
+			return dst, fmt.Errorf("accessengine: column %q has unsupported type", col.Name)
+		}
+	}
+	return dst, nil
+}
+
+// ProcessPage unpacks one page through a single Strider and returns the
+// extracted tuples as float32 records.
+func (e *Engine) ProcessPage(page storage.Page) ([][]float32, error) {
+	recs, _, err := e.processOn(0, page)
+	if err != nil {
+		return nil, err
+	}
+	return recs, nil
+}
+
+func (e *Engine) processOn(vmIdx int, page storage.Page) ([][]float32, int64, error) {
+	vm := e.vms[vmIdx]
+	if err := vm.Run(page); err != nil {
+		return nil, 0, err
+	}
+	out := vm.Out()
+	w := e.Schema.DataWidth()
+	if len(out)%w != 0 {
+		return nil, 0, fmt.Errorf("accessengine: strider emitted %d bytes, not a multiple of tuple width %d", len(out), w)
+	}
+	n := len(out) / w
+	recs := make([][]float32, 0, n)
+	for i := 0; i < n; i++ {
+		rec, err := Deformat(e.Schema, out[i*w:(i+1)*w], make([]float32, 0, e.Schema.NumCols()))
+		if err != nil {
+			return nil, 0, err
+		}
+		recs = append(recs, rec)
+	}
+	cyc := vm.Cycles()
+	e.stats.Pages++
+	e.stats.Tuples += int64(n)
+	e.stats.Bytes += int64(len(out))
+	e.stats.TotalCycles += cyc
+	return recs, cyc, nil
+}
+
+// ProcessPages unpacks a batch of pages across the striders. Pages are
+// assigned round-robin; the charged cycle cost of each group of
+// NumStriders pages is the maximum strider time in the group (they run
+// concurrently), summed over groups.
+func (e *Engine) ProcessPages(pages []storage.Page) ([][]float32, error) {
+	var all [][]float32
+	for start := 0; start < len(pages); start += e.NumStriders {
+		end := start + e.NumStriders
+		if end > len(pages) {
+			end = len(pages)
+		}
+		var groupMax int64
+		for i, pg := range pages[start:end] {
+			recs, cyc, err := e.processOn(i, pg)
+			if err != nil {
+				return nil, err
+			}
+			if cyc > groupMax {
+				groupMax = cyc
+			}
+			all = append(all, recs...)
+		}
+		e.stats.Cycles += groupMax
+	}
+	return all, nil
+}
+
+// EstimatePageCycles returns the static Strider cycle cost of unpacking
+// one page holding n tuples of the schema: the loop body is 7
+// instructions plus the emit cycles (1 per 8 payload bytes), plus the 4
+// header instructions.
+func (e *Engine) EstimatePageCycles(tuplesPerPage int) int64 {
+	return PageCycles(e.Schema, tuplesPerPage)
+}
+
+// PageCycles is EstimatePageCycles without an Engine instance (used by
+// the cost model on full-size workloads).
+func PageCycles(schema *storage.Schema, tuplesPerPage int) int64 {
+	emit := int64((schema.DataWidth() + 7) / 8)
+	return 4 + int64(tuplesPerPage)*(7+emit)
+}

@@ -1,0 +1,139 @@
+// Package algos provides the paper's four evaluation algorithms as
+// ready-made DAnA DSL programs (the ≈30–60 lines of Python a data
+// scientist would write, §4.3), parameterized by model topology and
+// hyper-parameters.
+package algos
+
+import (
+	"fmt"
+
+	"dana/internal/dsl"
+)
+
+// Hyper collects common hyper-parameters.
+type Hyper struct {
+	LR        float64
+	Lambda    float64 // SVM regularizer
+	MergeCoef int     // 0/1 = no merge (plain SGD)
+	Epochs    int
+}
+
+func (h Hyper) withDefaults() Hyper {
+	if h.LR == 0 {
+		h.LR = 0.1
+	}
+	if h.Epochs == 0 {
+		h.Epochs = 1
+	}
+	return h
+}
+
+// dense builds the shared GLM skeleton: s = sigma(mo*in, 1) and the
+// post-gradient optimizer w' = w - lr*grad, merging grad when requested.
+func dense(name string, nFeat int, h Hyper, gradOf func(a *dsl.Algo, mo, in, out, s *dsl.Expr) *dsl.Expr) *dsl.Algo {
+	a := dsl.NewAlgo(name)
+	mo := a.Model(nFeat)
+	in := a.Input(nFeat)
+	out := a.Output()
+	lr := a.Meta(h.LR)
+	s := dsl.Sigma(dsl.Mul(mo, in), 1)
+	grad := gradOf(a, mo, in, out, s)
+	moUp := dsl.Sub(mo, dsl.Mul(lr, grad))
+	if h.MergeCoef > 1 {
+		a.MustMerge(grad, h.MergeCoef, "+")
+	}
+	a.SetModel(moUp)
+	a.SetEpochs(h.Epochs)
+	return a
+}
+
+// Linear builds least-squares linear regression (paper §4.3 example).
+func Linear(nFeat int, h Hyper) *dsl.Algo {
+	h = h.withDefaults()
+	return dense("linearR", nFeat, h, func(a *dsl.Algo, mo, in, out, s *dsl.Expr) *dsl.Expr {
+		er := dsl.Sub(s, out)
+		return dsl.Mul(er, in)
+	})
+}
+
+// Logistic builds binary logistic regression (labels in {0,1}).
+func Logistic(nFeat int, h Hyper) *dsl.Algo {
+	h = h.withDefaults()
+	return dense("logisticR", nFeat, h, func(a *dsl.Algo, mo, in, out, s *dsl.Expr) *dsl.Expr {
+		p := dsl.Sigmoid(s)
+		er := dsl.Sub(p, out)
+		return dsl.Mul(er, in)
+	})
+}
+
+// SVM builds a hinge-loss linear SVM (labels in {-1,+1}):
+// grad = lambda*w - 1[y*s < 1] * y * x.
+func SVM(nFeat int, h Hyper) *dsl.Algo {
+	h = h.withDefaults()
+	if h.Lambda == 0 {
+		h.Lambda = 0.01
+	}
+	return dense("svm", nFeat, h, func(a *dsl.Algo, mo, in, out, s *dsl.Expr) *dsl.Expr {
+		lam := a.Meta(h.Lambda)
+		one := a.Meta(1)
+		margin := dsl.Mul(out, s)
+		ind := dsl.Lt(margin, one)
+		hinge := dsl.Mul(ind, dsl.Mul(out, in))
+		return dsl.Sub(dsl.Mul(lam, mo), hinge)
+	})
+}
+
+// LRMF builds low-rank matrix factorization over a stacked factor model
+// of (users+items) x rank; tuples are (userRow, itemRow, rating) with
+// itemRow pre-offset by users. Row updates imply single-threaded
+// acceleration (no merge), matching the paper's observation that LRMF
+// gains little from multi-threading (§7.2).
+func LRMF(users, items, rank int, h Hyper) *dsl.Algo {
+	h = h.withDefaults()
+	a := dsl.NewAlgo("lrmf")
+	mo := a.Model(users+items, rank)
+	u := a.Input()
+	v := a.Input()
+	r := a.Output()
+	lr := a.Meta(h.LR)
+	ur := dsl.Gather(mo, u)
+	vr := dsl.Gather(mo, v)
+	pred := dsl.Sigma(dsl.Mul(ur, vr), 1)
+	e := dsl.Sub(pred, r)
+	uNew := dsl.Sub(ur, dsl.Mul(lr, dsl.Mul(e, vr)))
+	vNew := dsl.Sub(vr, dsl.Mul(lr, dsl.Mul(e, ur)))
+	a.SetModelRow(u, uNew)
+	a.SetModelRow(v, vNew)
+	a.SetEpochs(h.Epochs)
+	return a
+}
+
+// Kind names a paper workload algorithm.
+type Kind string
+
+const (
+	KindLinear   Kind = "linear"
+	KindLogistic Kind = "logistic"
+	KindSVM      Kind = "svm"
+	KindLRMF     Kind = "lrmf"
+)
+
+// Build constructs the DSL program for a kind and topology. For LRMF the
+// topology is [users, items, rank]; otherwise [features].
+func Build(kind Kind, topology []int, h Hyper) (*dsl.Algo, error) {
+	switch kind {
+	case KindLinear:
+		return Linear(topology[0], h), nil
+	case KindLogistic:
+		return Logistic(topology[0], h), nil
+	case KindSVM:
+		return SVM(topology[0], h), nil
+	case KindLRMF:
+		if len(topology) != 3 {
+			return nil, fmt.Errorf("algos: LRMF topology needs [users, items, rank], got %v", topology)
+		}
+		return LRMF(topology[0], topology[1], topology[2], h), nil
+	default:
+		return nil, fmt.Errorf("algos: unknown kind %q", kind)
+	}
+}

@@ -1,0 +1,85 @@
+package algos
+
+import (
+	"testing"
+
+	"dana/internal/hdfg"
+)
+
+func TestBuildAllKinds(t *testing.T) {
+	cases := []struct {
+		kind     Kind
+		topology []int
+		width    int // expected tuple width
+		model    int // expected model size
+	}{
+		{KindLinear, []int{12}, 13, 12},
+		{KindLogistic, []int{7}, 8, 7},
+		{KindSVM, []int{20}, 21, 20},
+		{KindLRMF, []int{30, 40, 5}, 3, 350},
+	}
+	for _, c := range cases {
+		a, err := Build(c.kind, c.topology, Hyper{LR: 0.1, MergeCoef: 8, Epochs: 3})
+		if err != nil {
+			t.Fatalf("%s: %v", c.kind, err)
+		}
+		g, err := hdfg.Translate(a)
+		if err != nil {
+			t.Fatalf("%s: %v", c.kind, err)
+		}
+		if g.TupleWidth() != c.width {
+			t.Errorf("%s: tuple width %d, want %d", c.kind, g.TupleWidth(), c.width)
+		}
+		if g.ModelSize() != c.model {
+			t.Errorf("%s: model size %d, want %d", c.kind, g.ModelSize(), c.model)
+		}
+		if g.Epochs != 3 {
+			t.Errorf("%s: epochs %d", c.kind, g.Epochs)
+		}
+		if c.kind == KindLRMF {
+			if g.Merge != nil || len(g.RowUpdates) != 2 {
+				t.Errorf("%s: merge=%v rowUpdates=%d", c.kind, g.Merge, len(g.RowUpdates))
+			}
+		} else if g.Merge == nil || g.MergeCoef != 8 {
+			t.Errorf("%s: merge missing (coef %d)", c.kind, g.MergeCoef)
+		}
+	}
+}
+
+func TestHyperDefaults(t *testing.T) {
+	a := Linear(4, Hyper{})
+	if a.Epochs != 1 {
+		t.Errorf("default epochs = %d", a.Epochs)
+	}
+	if a.MergeNode != nil {
+		t.Error("merge node without coefficient")
+	}
+	s := SVM(4, Hyper{})
+	foundLambda := false
+	for _, m := range s.Metas {
+		if m.MetaValue == 0.01 {
+			foundLambda = true
+		}
+	}
+	if !foundLambda {
+		t.Error("SVM default lambda missing")
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build(KindLRMF, []int{3}, Hyper{}); err == nil {
+		t.Error("LRMF with 1-element topology accepted")
+	}
+	if _, err := Build(Kind("dnn"), []int{3}, Hyper{}); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestNoMergeWhenCoefOne(t *testing.T) {
+	for _, coef := range []int{0, 1} {
+		a := Logistic(5, Hyper{MergeCoef: coef})
+		if a.MergeNode != nil {
+			t.Errorf("coef %d produced a merge node", coef)
+		}
+	}
+}

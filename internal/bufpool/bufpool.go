@@ -1,0 +1,340 @@
+// Package bufpool implements a PostgreSQL-style shared buffer pool with
+// clock-sweep eviction. It is the component DAnA's Striders read raw
+// pages from (paper §5.1): the access engine walks buffer-pool frames
+// directly instead of having the CPU deform tuples.
+//
+// Disk I/O is simulated: every miss charges read latency + transfer time
+// to an I/O clock so that cold- vs warm-cache experiments (Figures 8–10)
+// are deterministic and host-independent.
+package bufpool
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"dana/internal/storage"
+)
+
+// PageID identifies a page of a relation within the pool.
+type PageID struct {
+	Rel  string
+	Page uint32
+}
+
+func (id PageID) String() string { return fmt.Sprintf("%s:%d", id.Rel, id.Page) }
+
+// ErrNoFreeFrames is returned when every frame is pinned.
+var ErrNoFreeFrames = errors.New("bufpool: all buffer frames are pinned")
+
+// DiskModel describes the simulated storage device.
+type DiskModel struct {
+	// SeqReadBytesPerSec is sustained sequential read bandwidth.
+	SeqReadBytesPerSec float64
+	// ReadLatencySec is the fixed per-request latency.
+	ReadLatencySec float64
+}
+
+// DefaultDisk models the paper's 256 GB SATA SSD.
+func DefaultDisk() DiskModel {
+	return DiskModel{SeqReadBytesPerSec: 500e6, ReadLatencySec: 80e-6}
+}
+
+// ReadTime returns the simulated seconds to read n bytes.
+func (d DiskModel) ReadTime(n int) float64 {
+	return d.ReadLatencySec + float64(n)/d.SeqReadBytesPerSec
+}
+
+// Stats aggregates buffer pool counters.
+type Stats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	BytesRead int64
+	// IOSeconds is total simulated time spent on disk reads.
+	IOSeconds float64
+}
+
+// HitRatio returns hits / (hits+misses), or 1 when there were no accesses.
+func (s Stats) HitRatio() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 1
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+type frame struct {
+	id    PageID
+	page  storage.Page
+	pins  int
+	usage uint8 // clock-sweep usage count (capped at 5, like PostgreSQL)
+	valid bool
+	dirty bool
+}
+
+// Pool is a fixed-size shared buffer pool over a set of relations.
+type Pool struct {
+	mu       sync.Mutex
+	frames   []frame
+	table    map[PageID]int // page table: PageID -> frame index
+	hand     int            // clock hand
+	rels     map[string]*storage.Relation
+	disk     DiskModel
+	stats    Stats
+	pageSize int
+
+	// VerifyChecksums makes every miss validate the page checksum
+	// (when one is stamped), modeling PostgreSQL's data_checksums:
+	// torn or corrupted pages fail the read instead of reaching the
+	// Striders.
+	VerifyChecksums bool
+}
+
+// New creates a pool of nframes frames for pages of pageSize bytes.
+func New(nframes, pageSize int, disk DiskModel) *Pool {
+	if nframes < 1 {
+		nframes = 1
+	}
+	return &Pool{
+		frames:   make([]frame, nframes),
+		table:    make(map[PageID]int, nframes),
+		rels:     make(map[string]*storage.Relation),
+		disk:     disk,
+		pageSize: pageSize,
+	}
+}
+
+// NewSized creates a pool with a byte budget (e.g. 8 GB in the paper's
+// default setup) for the given page size.
+func NewSized(poolBytes int64, pageSize int, disk DiskModel) *Pool {
+	return New(int(poolBytes/int64(pageSize)), pageSize, disk)
+}
+
+// AttachRelation registers a relation so its pages can be requested.
+func (p *Pool) AttachRelation(r *storage.Relation) error {
+	if r.PageSize != p.pageSize {
+		return fmt.Errorf("bufpool: relation %q page size %d != pool page size %d", r.Name, r.PageSize, p.pageSize)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.rels[r.Name] = r
+	return nil
+}
+
+// NumFrames returns the frame count.
+func (p *Pool) NumFrames() int { return len(p.frames) }
+
+// PageSize returns the pool's page size.
+func (p *Pool) PageSize() int { return p.pageSize }
+
+// Stats returns a snapshot of the counters.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// ResetStats zeroes the counters (pool contents are untouched, so a reset
+// followed by re-scanning models the warm-cache setting).
+func (p *Pool) ResetStats() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats = Stats{}
+}
+
+// Invalidate drops every cached page (the cold-cache setting).
+func (p *Pool) Invalidate() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := range p.frames {
+		if p.frames[i].pins > 0 {
+			return fmt.Errorf("bufpool: cannot invalidate: frame %d (%v) is pinned", i, p.frames[i].id)
+		}
+	}
+	for i := range p.frames {
+		p.frames[i] = frame{}
+	}
+	p.table = make(map[PageID]int, len(p.frames))
+	return nil
+}
+
+// InvalidateRelation drops every cached page of one relation and
+// detaches it (used by DROP TABLE so a recreated table cannot serve
+// stale frames).
+func (p *Pool) InvalidateRelation(rel string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := range p.frames {
+		f := &p.frames[i]
+		if f.valid && f.id.Rel == rel {
+			if f.pins > 0 {
+				return fmt.Errorf("bufpool: cannot invalidate %v: pinned", f.id)
+			}
+		}
+	}
+	for i := range p.frames {
+		f := &p.frames[i]
+		if f.valid && f.id.Rel == rel {
+			delete(p.table, f.id)
+			*f = frame{page: f.page}
+		}
+	}
+	delete(p.rels, rel)
+	return nil
+}
+
+// Pin fetches the page into the pool (reading from the relation on a
+// miss), pins it, and returns the frame's page. The caller must Unpin.
+// The returned Page aliases the frame; it stays valid while pinned.
+func (p *Pool) Pin(rel string, pageNo uint32) (storage.Page, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	id := PageID{Rel: rel, Page: pageNo}
+	if fi, ok := p.table[id]; ok {
+		f := &p.frames[fi]
+		f.pins++
+		if f.usage < 5 {
+			f.usage++
+		}
+		p.stats.Hits++
+		return f.page, nil
+	}
+	// Miss: find a victim via clock sweep.
+	r, ok := p.rels[rel]
+	if !ok {
+		return nil, fmt.Errorf("bufpool: unknown relation %q", rel)
+	}
+	src, err := r.Page(int(pageNo))
+	if err != nil {
+		return nil, err
+	}
+	if p.VerifyChecksums {
+		if stored := src.Checksum(); stored != 0 && stored != src.ComputeChecksum() {
+			return nil, fmt.Errorf("bufpool: checksum failure on %v: stored %#x, computed %#x",
+				id, stored, src.ComputeChecksum())
+		}
+	}
+	fi, err := p.evictLocked()
+	if err != nil {
+		return nil, err
+	}
+	f := &p.frames[fi]
+	if f.valid {
+		delete(p.table, f.id)
+		p.stats.Evictions++
+	}
+	if f.page == nil {
+		f.page = make(storage.Page, p.pageSize)
+	}
+	copy(f.page, src)
+	f.id = id
+	f.valid = true
+	f.dirty = false
+	f.pins = 1
+	f.usage = 1
+	p.table[id] = fi
+	p.stats.Misses++
+	p.stats.BytesRead += int64(p.pageSize)
+	p.stats.IOSeconds += p.disk.ReadTime(p.pageSize)
+	return f.page, nil
+}
+
+// evictLocked runs the clock sweep and returns a usable frame index.
+func (p *Pool) evictLocked() (int, error) {
+	n := len(p.frames)
+	// Two full sweeps decrementing usage counts is enough to find a
+	// victim unless everything is pinned: a frame with usage 0 and no
+	// pins is chosen.
+	for pass := 0; pass < 6*n; pass++ {
+		f := &p.frames[p.hand]
+		idx := p.hand
+		p.hand = (p.hand + 1) % n
+		if !f.valid {
+			return idx, nil
+		}
+		if f.pins > 0 {
+			continue
+		}
+		if f.usage > 0 {
+			f.usage--
+			continue
+		}
+		return idx, nil
+	}
+	return 0, ErrNoFreeFrames
+}
+
+// Unpin releases one pin on the page.
+func (p *Pool) Unpin(rel string, pageNo uint32) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	id := PageID{Rel: rel, Page: pageNo}
+	fi, ok := p.table[id]
+	if !ok {
+		return fmt.Errorf("bufpool: unpin of uncached page %v", id)
+	}
+	f := &p.frames[fi]
+	if f.pins <= 0 {
+		return fmt.Errorf("bufpool: unpin of unpinned page %v", id)
+	}
+	f.pins--
+	return nil
+}
+
+// Prefetch loads pages [start, start+count) of rel without pinning them,
+// modeling sequential read-ahead (and used to pre-warm the cache).
+func (p *Pool) Prefetch(rel string, start uint32, count int) error {
+	for i := 0; i < count; i++ {
+		if _, err := p.Pin(rel, start+uint32(i)); err != nil {
+			return err
+		}
+		if err := p.Unpin(rel, start+uint32(i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Warm loads as much of the relation as fits, starting from page 0 — the
+// paper's warm-cache setting where training tables reside in the pool
+// before query execution.
+func (p *Pool) Warm(rel string) error {
+	p.mu.Lock()
+	r, ok := p.rels[rel]
+	p.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("bufpool: unknown relation %q", rel)
+	}
+	n := r.NumPages()
+	if n > len(p.frames) {
+		n = len(p.frames)
+	}
+	if err := p.Prefetch(rel, 0, n); err != nil {
+		return err
+	}
+	p.ResetStats()
+	return nil
+}
+
+// Cached reports whether the page currently resides in the pool.
+func (p *Pool) Cached(rel string, pageNo uint32) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_, ok := p.table[PageID{Rel: rel, Page: pageNo}]
+	return ok
+}
+
+// PinnedCount returns the number of currently pinned frames (for tests
+// and leak detection).
+func (p *Pool) PinnedCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for i := range p.frames {
+		if p.frames[i].pins > 0 {
+			n++
+		}
+	}
+	return n
+}

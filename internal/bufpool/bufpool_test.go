@@ -1,0 +1,345 @@
+package bufpool
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"dana/internal/storage"
+)
+
+func testRelation(t *testing.T, name string, rows int) *storage.Relation {
+	t.Helper()
+	s := storage.NumericSchema(9)
+	r := storage.NewRelation(name, s, storage.PageSize8K)
+	batch := make([][]float64, rows)
+	for i := range batch {
+		vals := make([]float64, 10)
+		for j := range vals {
+			vals[j] = float64(i*10 + j)
+		}
+		batch[i] = vals
+	}
+	if err := r.InsertBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func newPool(t *testing.T, frames int, rels ...*storage.Relation) *Pool {
+	t.Helper()
+	p := New(frames, storage.PageSize8K, DefaultDisk())
+	for _, r := range rels {
+		if err := p.AttachRelation(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return p
+}
+
+func TestPinMissThenHit(t *testing.T) {
+	r := testRelation(t, "t", 100)
+	p := newPool(t, 4, r)
+	pg, err := p.Pin("t", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Unpin("t", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Pin("t", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Unpin("t", 0); err != nil {
+		t.Fatal(err)
+	}
+	st := p.Stats()
+	if st.Misses != 1 || st.Hits != 1 {
+		t.Errorf("stats = %+v, want 1 miss 1 hit", st)
+	}
+	if st.IOSeconds <= 0 {
+		t.Error("miss should charge I/O time")
+	}
+}
+
+func TestPinContentMatchesRelation(t *testing.T) {
+	r := testRelation(t, "t", 50)
+	p := newPool(t, 4, r)
+	pg, err := p.Pin("t", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Unpin("t", 0)
+	raw, err := pg.Item(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err := storage.DecodeTuple(r.Schema, nil, raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[0] != 0 || vals[9] != 9 {
+		t.Errorf("first tuple = %v", vals)
+	}
+}
+
+func TestEvictionClockSweep(t *testing.T) {
+	r := testRelation(t, "t", 2000) // many pages
+	if r.NumPages() < 8 {
+		t.Fatalf("need >=8 pages, got %d", r.NumPages())
+	}
+	p := newPool(t, 4, r)
+	for pg := uint32(0); pg < 8; pg++ {
+		if _, err := p.Pin("t", pg); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Unpin("t", pg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := p.Stats()
+	if st.Misses != 8 {
+		t.Errorf("misses = %d, want 8", st.Misses)
+	}
+	if st.Evictions != 4 {
+		t.Errorf("evictions = %d, want 4", st.Evictions)
+	}
+	if p.Cached("t", 0) {
+		t.Error("page 0 should have been evicted")
+	}
+}
+
+func TestAllPinnedFails(t *testing.T) {
+	r := testRelation(t, "t", 2000)
+	p := newPool(t, 2, r)
+	for pg := uint32(0); pg < 2; pg++ {
+		if _, err := p.Pin("t", pg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := p.Pin("t", 2); err == nil {
+		t.Fatal("pin with all frames pinned should fail")
+	}
+	if p.PinnedCount() != 2 {
+		t.Errorf("PinnedCount = %d", p.PinnedCount())
+	}
+}
+
+func TestUnpinErrors(t *testing.T) {
+	r := testRelation(t, "t", 10)
+	p := newPool(t, 2, r)
+	if err := p.Unpin("t", 0); err == nil {
+		t.Error("unpin of uncached page should fail")
+	}
+	if _, err := p.Pin("t", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Unpin("t", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Unpin("t", 0); err == nil {
+		t.Error("double unpin should fail")
+	}
+}
+
+func TestUnknownRelation(t *testing.T) {
+	p := newPool(t, 2)
+	if _, err := p.Pin("ghost", 0); err == nil {
+		t.Error("pin of unknown relation should fail")
+	}
+}
+
+func TestWarmThenScanIsAllHits(t *testing.T) {
+	r := testRelation(t, "t", 500)
+	p := newPool(t, r.NumPages()+2, r)
+	if err := p.Warm("t"); err != nil {
+		t.Fatal(err)
+	}
+	for pg := 0; pg < r.NumPages(); pg++ {
+		if _, err := p.Pin("t", uint32(pg)); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Unpin("t", uint32(pg)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := p.Stats()
+	if st.Misses != 0 {
+		t.Errorf("warm scan had %d misses", st.Misses)
+	}
+	if st.HitRatio() != 1 {
+		t.Errorf("hit ratio = %v", st.HitRatio())
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	r := testRelation(t, "t", 100)
+	p := newPool(t, 8, r)
+	if err := p.Warm("t"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Pin("t", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Invalidate(); err == nil {
+		t.Error("invalidate with a pinned page should fail")
+	}
+	if err := p.Unpin("t", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Invalidate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Cached("t", 0) {
+		t.Error("page cached after invalidate")
+	}
+}
+
+func TestAttachWrongPageSize(t *testing.T) {
+	s := storage.NumericSchema(1)
+	r := storage.NewRelation("w", s, storage.PageSize32K)
+	p := New(2, storage.PageSize8K, DefaultDisk())
+	if err := p.AttachRelation(r); err == nil {
+		t.Error("page size mismatch should fail")
+	}
+}
+
+func TestNewSized(t *testing.T) {
+	p := NewSized(1<<20, storage.PageSize8K, DefaultDisk())
+	if p.NumFrames() != 128 {
+		t.Errorf("NumFrames = %d, want 128", p.NumFrames())
+	}
+}
+
+func TestDiskModelReadTime(t *testing.T) {
+	d := DiskModel{SeqReadBytesPerSec: 100e6, ReadLatencySec: 1e-3}
+	got := d.ReadTime(100e6 / 2)
+	if got <= 0.5 || got > 0.502 {
+		t.Errorf("ReadTime = %v", got)
+	}
+}
+
+func TestChecksumVerification(t *testing.T) {
+	r := testRelation(t, "t", 50)
+	p := newPool(t, 4, r)
+	p.VerifyChecksums = true
+
+	// Unstamped pages (checksum 0) pass.
+	if _, err := p.Pin("t", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Unpin("t", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Invalidate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Stamp a valid checksum: still passes.
+	pg, err := r.Page(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg.SetChecksum(pg.ComputeChecksum())
+	if _, err := p.Pin("t", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Unpin("t", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Invalidate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt the backing page: the read must fail.
+	pg[500] ^= 0xFF
+	if _, err := p.Pin("t", 0); err == nil {
+		t.Error("corrupted page passed checksum verification")
+	}
+}
+
+func TestConcurrentPinUnpin(t *testing.T) {
+	r := testRelation(t, "t", 4000)
+	p := newPool(t, 16, r)
+	nPages := r.NumPages()
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				pn := uint32((g*7 + i) % nPages)
+				pg, err := p.Pin("t", pn)
+				if err != nil {
+					// All-pinned transients are possible under heavy
+					// contention with a tiny pool; anything else is a bug.
+					if !errors.Is(err, ErrNoFreeFrames) {
+						errs <- err
+						return
+					}
+					continue
+				}
+				if err := pg.Validate(); err != nil {
+					errs <- err
+					return
+				}
+				if err := p.Unpin("t", pn); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if p.PinnedCount() != 0 {
+		t.Errorf("leaked %d pins", p.PinnedCount())
+	}
+	st := p.Stats()
+	if st.Hits+st.Misses == 0 {
+		t.Error("no accesses recorded")
+	}
+}
+
+func TestInvalidateRelation(t *testing.T) {
+	a := testRelation(t, "a", 200)
+	b := testRelation(t, "b", 200)
+	p := newPool(t, 16, a, b)
+	for _, rel := range []string{"a", "b"} {
+		if _, err := p.Pin(rel, 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Unpin(rel, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.InvalidateRelation("a"); err != nil {
+		t.Fatal(err)
+	}
+	if p.Cached("a", 0) {
+		t.Error("a still cached")
+	}
+	if !p.Cached("b", 0) {
+		t.Error("b was evicted too")
+	}
+	if _, err := p.Pin("a", 0); err == nil {
+		t.Error("detached relation still pinnable")
+	}
+	// Pinned pages block invalidation.
+	if _, err := p.Pin("b", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.InvalidateRelation("b"); err == nil {
+		t.Error("invalidated a relation with pinned pages")
+	}
+	if err := p.Unpin("b", 0); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,183 @@
+// Package catalog implements the RDBMS system catalog. Besides table
+// schemas it stores DAnA's accelerator metadata — the compiled Strider
+// and execution-engine binaries, schedules, and the chosen hardware
+// design — exactly as Figure 2 shows the catalog shared between the
+// database engine and the FPGA.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"dana/internal/dsl"
+	"dana/internal/engine"
+	"dana/internal/hdfg"
+	"dana/internal/hwgen"
+	"dana/internal/storage"
+	"dana/internal/strider"
+)
+
+// UDF is a registered analytics function: the DSL source-of-truth plus
+// its translated graph.
+type UDF struct {
+	Name  string
+	Algo  *dsl.Algo
+	Graph *hdfg.Graph
+}
+
+// Accelerator is the catalog record DAnA stores for a UDF after
+// compilation and hardware generation (paper §6.2: "The FPGA design,
+// its schedule, operation map, and instructions are then stored in the
+// RDBMS catalog").
+type Accelerator struct {
+	UDFName     string
+	Program     *engine.Program
+	StriderProg []strider.Instr
+	StriderCfg  strider.Config
+	Design      hwgen.Design
+
+	// OperationMap is the rendered per-step placement of the per-tuple
+	// schedule (paper §6.2: "The FPGA design, its schedule, operation
+	// map, and instructions are then stored in the RDBMS catalog").
+	OperationMap string
+	// ScheduledCycles is the list scheduler's per-tuple makespan.
+	ScheduledCycles int64
+}
+
+// key normalizes catalog names: SQL identifiers fold to lower case.
+func key(name string) string { return strings.ToLower(name) }
+
+// Catalog holds tables, UDFs, and accelerator metadata.
+type Catalog struct {
+	mu     sync.RWMutex
+	tables map[string]*storage.Relation
+	udfs   map[string]*UDF
+	accels map[string]*Accelerator
+}
+
+// New creates an empty catalog.
+func New() *Catalog {
+	return &Catalog{
+		tables: make(map[string]*storage.Relation),
+		udfs:   make(map[string]*UDF),
+		accels: make(map[string]*Accelerator),
+	}
+}
+
+// CreateTable registers a new heap relation.
+func (c *Catalog) CreateTable(name string, schema *storage.Schema, pageSize int) (*storage.Relation, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.tables[key(name)]; ok {
+		return nil, fmt.Errorf("catalog: table %q already exists", name)
+	}
+	r := storage.NewRelation(name, schema, pageSize)
+	c.tables[key(name)] = r
+	return r, nil
+}
+
+// AttachTable registers an existing relation (bulk-loaded by datagen).
+func (c *Catalog) AttachTable(r *storage.Relation) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.tables[key(r.Name)]; ok {
+		return fmt.Errorf("catalog: table %q already exists", r.Name)
+	}
+	c.tables[key(r.Name)] = r
+	return nil
+}
+
+// Table looks up a relation.
+func (c *Catalog) Table(name string) (*storage.Relation, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	r, ok := c.tables[key(name)]
+	if !ok {
+		return nil, fmt.Errorf("catalog: table %q does not exist", name)
+	}
+	return r, nil
+}
+
+// DropTable removes a relation.
+func (c *Catalog) DropTable(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.tables[key(name)]; !ok {
+		return fmt.Errorf("catalog: table %q does not exist", name)
+	}
+	delete(c.tables, key(name))
+	return nil
+}
+
+// Tables returns the sorted table names.
+func (c *Catalog) Tables() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	names := make([]string, 0, len(c.tables))
+	for _, r := range c.tables {
+		names = append(names, r.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// RegisterUDF translates and stores a DSL algorithm under its name.
+func (c *Catalog) RegisterUDF(a *dsl.Algo) (*UDF, error) {
+	g, err := hdfg.Translate(a)
+	if err != nil {
+		return nil, fmt.Errorf("catalog: UDF %q: %w", a.Name, err)
+	}
+	u := &UDF{Name: a.Name, Algo: a, Graph: g}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.udfs[key(a.Name)]; ok {
+		return nil, fmt.Errorf("catalog: UDF %q already registered", a.Name)
+	}
+	c.udfs[key(a.Name)] = u
+	return u, nil
+}
+
+// UDF looks up a registered function.
+func (c *Catalog) UDF(name string) (*UDF, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	u, ok := c.udfs[key(name)]
+	if !ok {
+		return nil, fmt.Errorf("catalog: UDF %q is not registered", name)
+	}
+	return u, nil
+}
+
+// UDFs returns the sorted UDF names.
+func (c *Catalog) UDFs() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	names := make([]string, 0, len(c.udfs))
+	for _, u := range c.udfs {
+		names = append(names, u.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// StoreAccelerator records compiled accelerator metadata for a UDF.
+func (c *Catalog) StoreAccelerator(a *Accelerator) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.udfs[key(a.UDFName)]; !ok {
+		return fmt.Errorf("catalog: accelerator for unregistered UDF %q", a.UDFName)
+	}
+	c.accels[key(a.UDFName)] = a
+	return nil
+}
+
+// Accelerator looks up accelerator metadata (nil error + nil value means
+// not yet generated).
+func (c *Catalog) Accelerator(udfName string) (*Accelerator, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	a, ok := c.accels[key(udfName)]
+	return a, ok
+}

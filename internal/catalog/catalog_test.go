@@ -1,0 +1,179 @@
+package catalog
+
+import (
+	"testing"
+
+	"dana/internal/algos"
+	"dana/internal/compiler"
+	"dana/internal/engine"
+	"dana/internal/hdfg"
+	"dana/internal/hwgen"
+	"dana/internal/storage"
+	"dana/internal/strider"
+)
+
+func TestTableLifecycle(t *testing.T) {
+	c := New()
+	s := storage.NumericSchema(3)
+	if _, err := c.CreateTable("t", s, storage.PageSize8K); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateTable("t", s, storage.PageSize8K); err == nil {
+		t.Error("duplicate create accepted")
+	}
+	rel, err := c.Table("t")
+	if err != nil || rel.Name != "t" {
+		t.Fatalf("Table: %v %v", rel, err)
+	}
+	if got := c.Tables(); len(got) != 1 || got[0] != "t" {
+		t.Errorf("Tables = %v", got)
+	}
+	if err := c.DropTable("t"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Table("t"); err == nil {
+		t.Error("lookup after drop succeeded")
+	}
+	if err := c.DropTable("t"); err == nil {
+		t.Error("double drop accepted")
+	}
+}
+
+func TestAttachTable(t *testing.T) {
+	c := New()
+	r := storage.NewRelation("x", storage.NumericSchema(1), storage.PageSize8K)
+	if err := c.AttachTable(r); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AttachTable(r); err == nil {
+		t.Error("duplicate attach accepted")
+	}
+}
+
+func TestUDFRegistration(t *testing.T) {
+	c := New()
+	a := algos.Linear(8, algos.Hyper{LR: 0.1, MergeCoef: 4, Epochs: 2})
+	u, err := c.RegisterUDF(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Graph == nil || u.Graph.MergeCoef != 4 {
+		t.Errorf("udf graph = %+v", u.Graph)
+	}
+	if _, err := c.RegisterUDF(a); err == nil {
+		t.Error("duplicate UDF accepted")
+	}
+	got, err := c.UDF("linearR")
+	if err != nil || got != u {
+		t.Errorf("UDF lookup: %v %v", got, err)
+	}
+	if _, err := c.UDF("ghost"); err == nil {
+		t.Error("missing UDF lookup succeeded")
+	}
+	if names := c.UDFs(); len(names) != 1 || names[0] != "linearR" {
+		t.Errorf("UDFs = %v", names)
+	}
+}
+
+func TestAcceleratorMetadata(t *testing.T) {
+	c := New()
+	a := algos.Logistic(4, algos.Hyper{LR: 0.1, Epochs: 1})
+	if _, err := c.RegisterUDF(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.StoreAccelerator(&Accelerator{UDFName: "ghost"}); err == nil {
+		t.Error("accelerator for unknown UDF accepted")
+	}
+	if err := c.StoreAccelerator(&Accelerator{UDFName: "logisticR"}); err != nil {
+		t.Fatal(err)
+	}
+	if acc, ok := c.Accelerator("logisticR"); !ok || acc.UDFName != "logisticR" {
+		t.Errorf("Accelerator = %v %v", acc, ok)
+	}
+	if _, ok := c.Accelerator("ghost"); ok {
+		t.Error("accelerator for unknown UDF found")
+	}
+}
+
+func TestInvalidUDFRejected(t *testing.T) {
+	c := New()
+	a := algos.Linear(4, algos.Hyper{})
+	a.SetModel(nil)
+	a.Updated = nil
+	a.RowUpdates = nil
+	if _, err := c.RegisterUDF(a); err == nil {
+		t.Error("invalid UDF accepted")
+	}
+}
+
+func TestAcceleratorSerializationRoundTrip(t *testing.T) {
+	// Build a real accelerator record and round-trip it through the
+	// catalog's durable form.
+	a := algos.Linear(12, algos.Hyper{LR: 0.05, MergeCoef: 8, Epochs: 2})
+	g, err := hdfg.Translate(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := compiler.Compile(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	design, err := hwgen.Generate(prog, hwgen.VU9P(), hwgen.Params{PageSize: 32 << 10, MergeCoef: 8, NumTuples: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sprog, scfg, err := strider.Generate(strider.PostgresLayout(32 << 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := &Accelerator{
+		UDFName: "linearR", Program: prog,
+		StriderProg: sprog, StriderCfg: scfg, Design: design,
+	}
+	data, err := ExportAccelerator(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ImportAccelerator(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.UDFName != "linearR" {
+		t.Errorf("udf = %q", got.UDFName)
+	}
+	if got.Program.Slots != prog.Slots || len(got.Program.PerTuple) != len(prog.PerTuple) {
+		t.Errorf("program mismatch after round trip")
+	}
+	if len(got.StriderProg) != len(sprog) {
+		t.Fatalf("strider program length %d != %d", len(got.StriderProg), len(sprog))
+	}
+	for i := range sprog {
+		if got.StriderProg[i] != sprog[i] {
+			t.Errorf("strider instr %d: %v != %v", i, got.StriderProg[i], sprog[i])
+		}
+	}
+	if got.Design.Engine != design.Engine || got.Design.NumStriders != design.NumStriders {
+		t.Errorf("design mismatch: %+v vs %+v", got.Design.Engine, design.Engine)
+	}
+	// The imported program must still execute.
+	m, err := engine.NewMachine(got.Program, got.Design.Engine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuple := make([]float32, 13)
+	if err := m.RunBatch([][]float32{tuple}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestImportAcceleratorErrors(t *testing.T) {
+	if _, err := ImportAccelerator([]byte("not json")); err == nil {
+		t.Error("bad JSON accepted")
+	}
+	if _, err := ImportAccelerator([]byte("{}")); err == nil {
+		t.Error("empty record accepted")
+	}
+	if _, err := ExportAccelerator(nil); err == nil {
+		t.Error("nil export accepted")
+	}
+}

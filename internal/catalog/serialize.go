@@ -1,0 +1,93 @@
+package catalog
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"dana/internal/engine"
+	"dana/internal/hwgen"
+	"dana/internal/strider"
+)
+
+// Serialized accelerator metadata: the paper stores the "FPGA design,
+// its schedule, operation map, and instructions" in the RDBMS catalog
+// (§6.2); this is the durable wire form of that record. Strider
+// instructions persist as their 22-bit binary words.
+
+type acceleratorJSON struct {
+	UDFName    string          `json:"udf"`
+	Program    *engine.Program `json:"program"`
+	StriderBin []uint32        `json:"strider_bin"`
+	StriderCfg strider.Config  `json:"strider_cfg"`
+	Design     designJSON      `json:"design"`
+}
+
+type designJSON struct {
+	Engine      engine.Config `json:"engine"`
+	NumStriders int           `json:"num_striders"`
+	PageBuffers int           `json:"page_buffers"`
+	AUs         int           `json:"aus"`
+	BRAMBytes   int64         `json:"bram_bytes"`
+	Utilization float64       `json:"utilization"`
+	FPGAName    string        `json:"fpga"`
+}
+
+// ExportAccelerator serializes an accelerator record.
+func ExportAccelerator(a *Accelerator) ([]byte, error) {
+	if a == nil || a.Program == nil {
+		return nil, fmt.Errorf("catalog: nothing to export")
+	}
+	return json.MarshalIndent(acceleratorJSON{
+		UDFName:    a.UDFName,
+		Program:    a.Program,
+		StriderBin: strider.EncodeProgram(a.StriderProg),
+		StriderCfg: a.StriderCfg,
+		Design: designJSON{
+			Engine:      a.Design.Engine,
+			NumStriders: a.Design.NumStriders,
+			PageBuffers: a.Design.PageBuffers,
+			AUs:         a.Design.AUs,
+			BRAMBytes:   a.Design.BRAMBytes,
+			Utilization: a.Design.Utilization,
+			FPGAName:    a.Design.FPGA.Name,
+		},
+	}, "", "  ")
+}
+
+// ImportAccelerator parses a serialized record. The FPGA descriptor is
+// restored from its name against the known device table.
+func ImportAccelerator(data []byte) (*Accelerator, error) {
+	var aj acceleratorJSON
+	if err := json.Unmarshal(data, &aj); err != nil {
+		return nil, fmt.Errorf("catalog: %w", err)
+	}
+	if aj.Program == nil {
+		return nil, fmt.Errorf("catalog: record has no program")
+	}
+	if err := aj.Program.Validate(); err != nil {
+		return nil, fmt.Errorf("catalog: imported program invalid: %w", err)
+	}
+	prog, err := strider.DecodeProgram(aj.StriderBin)
+	if err != nil {
+		return nil, fmt.Errorf("catalog: strider binary: %w", err)
+	}
+	fpga := hwgen.VU9P()
+	if aj.Design.FPGAName != "" {
+		fpga.Name = aj.Design.FPGAName
+	}
+	return &Accelerator{
+		UDFName:     aj.UDFName,
+		Program:     aj.Program,
+		StriderProg: prog,
+		StriderCfg:  aj.StriderCfg,
+		Design: hwgen.Design{
+			FPGA:        fpga,
+			Engine:      aj.Design.Engine,
+			NumStriders: aj.Design.NumStriders,
+			PageBuffers: aj.Design.PageBuffers,
+			AUs:         aj.Design.AUs,
+			BRAMBytes:   aj.Design.BRAMBytes,
+			Utilization: aj.Design.Utilization,
+		},
+	}, nil
+}

@@ -1,0 +1,243 @@
+// Package compiler lowers a translated hDFG to an execution-engine
+// Program (paper §6.2): it allocates scratchpad slots in the canonical
+// lane layout, selects engine instructions for every hDFG sub-node,
+// splits the schedule at the merge boundary, and emits the convergence
+// program. The static schedule it produces is what both the Machine and
+// the hardware generator's performance estimator consume.
+package compiler
+
+import (
+	"fmt"
+
+	"dana/internal/dsl"
+	"dana/internal/engine"
+	"dana/internal/hdfg"
+)
+
+// Compile lowers the graph to an accelerator program.
+func Compile(g *hdfg.Graph) (*engine.Program, error) {
+	if len(g.RowUpdates) > 0 && g.Merge != nil {
+		return nil, fmt.Errorf("compiler: row updates (setModelRow) cannot be combined with a merge function")
+	}
+	c := &lowering{g: g, p: &engine.Program{}, slots: make(map[*hdfg.Node]engine.Slot)}
+	if err := c.allocate(); err != nil {
+		return nil, err
+	}
+	if err := c.emitAll(); err != nil {
+		return nil, err
+	}
+	if err := c.p.Validate(); err != nil {
+		return nil, fmt.Errorf("compiler: produced invalid program: %w", err)
+	}
+	return c.p, nil
+}
+
+type lowering struct {
+	g     *hdfg.Graph
+	p     *engine.Program
+	slots map[*hdfg.Node]engine.Slot
+	next  int
+}
+
+func (c *lowering) alloc(n int) engine.Slot {
+	s := engine.Slot{Base: c.next, Len: n}
+	c.next += n
+	return s
+}
+
+// allocate lays out the scratchpad: model, tuple inputs, meta constants,
+// then one region per operation node (plus norm temporaries, allocated
+// at emission).
+func (c *lowering) allocate() error {
+	g := c.g
+	c.p.ModelSlot = c.alloc(g.ModelSize())
+	c.slots[g.Model] = c.p.ModelSlot
+
+	c.p.InputSlot = c.alloc(g.TupleWidth())
+	off := c.p.InputSlot.Base
+	for _, in := range g.Inputs {
+		c.slots[in] = engine.Slot{Base: off, Len: in.Shape.Size()}
+		off += in.Shape.Size()
+	}
+	for _, out := range g.Outputs {
+		c.slots[out] = engine.Slot{Base: off, Len: out.Shape.Size()}
+		off += out.Shape.Size()
+	}
+
+	// Meta constants.
+	var consts []float32
+	constBase := c.next
+	for _, n := range g.Nodes {
+		if n.IsLeaf() && n.Kind == dsl.KMeta {
+			c.slots[n] = c.alloc(1)
+			consts = append(consts, float32(n.MetaValue))
+		}
+	}
+	c.p.ConstSlot = engine.Slot{Base: constBase, Len: len(consts)}
+	c.p.Consts = consts
+
+	// Operation regions.
+	for _, n := range g.Nodes {
+		if n.IsLeaf() {
+			continue
+		}
+		c.slots[n] = c.alloc(n.Shape.Size())
+	}
+	return nil
+}
+
+// stage selects which instruction list a node belongs to.
+func (c *lowering) stage(n *hdfg.Node) *[]engine.Instr {
+	switch {
+	case n.ConvOnly:
+		return &c.p.Convergence
+	case n.PostMerge:
+		return &c.p.PostMerge
+	default:
+		return &c.p.PerTuple
+	}
+}
+
+func (c *lowering) emitAll() error {
+	g := c.g
+	for _, n := range g.Nodes {
+		if n.IsLeaf() {
+			continue
+		}
+		if err := c.emit(n); err != nil {
+			return err
+		}
+	}
+	if g.Merge != nil {
+		c.p.MergeSrc = c.slots[g.Merge.Args[0]]
+		c.p.MergeDst = c.slots[g.Merge]
+		switch g.Merge.MergeOp {
+		case dsl.OpAdd:
+			c.p.MergeOp = engine.AAdd
+		case dsl.OpMul:
+			c.p.MergeOp = engine.AMul
+		default:
+			return fmt.Errorf("compiler: unsupported merge op %v", g.Merge.MergeOp)
+		}
+	}
+	if g.Updated != nil {
+		c.p.UpdatedSlot = c.slots[g.Updated]
+	}
+	for _, ru := range g.RowUpdates {
+		cols := g.Model.Shape[1]
+		c.p.RowUpdates = append(c.p.RowUpdates, engine.Instr{
+			Kind:   engine.KScatter,
+			A:      c.slots[ru.Val],
+			B:      c.slots[ru.Idx],
+			RowLen: cols,
+		})
+	}
+	if g.Convergence != nil {
+		c.p.ConvSlot = c.slots[g.Convergence]
+	}
+	c.p.Slots = c.next
+	return nil
+}
+
+var aluByOp = map[dsl.Op]engine.AluOp{
+	dsl.OpAdd: engine.AAdd, dsl.OpSub: engine.ASub, dsl.OpMul: engine.AMul,
+	dsl.OpDiv: engine.ADiv, dsl.OpLt: engine.ALt, dsl.OpGt: engine.AGt,
+	dsl.OpSigmoid: engine.ASigmoid, dsl.OpGaussian: engine.AGaussian,
+	dsl.OpSqrt: engine.ASqrt,
+}
+
+func (c *lowering) emit(n *hdfg.Node) error {
+	list := c.stage(n)
+	dst := c.slots[n]
+	switch {
+	case n.Op == dsl.OpMerge:
+		// Realized by the tree bus; no thread instruction.
+		return nil
+	case n.Op.IsBinary():
+		return c.emitBinary(n, list, dst)
+	case n.Op.IsNonLinear():
+		*list = append(*list, engine.Instr{
+			Kind: engine.KEW, Op: aluByOp[n.Op], Dst: dst, A: c.slots[n.Args[0]],
+		})
+		return nil
+	case n.Op.IsGroup():
+		return c.emitGroup(n, list, dst)
+	case n.Op == dsl.OpGather:
+		*list = append(*list, engine.Instr{
+			Kind: engine.KGather, Dst: dst, A: c.slots[n.Args[1]],
+			RowLen: c.g.Model.Shape[1],
+		})
+		return nil
+	default:
+		return fmt.Errorf("compiler: cannot lower %v", n)
+	}
+}
+
+func (c *lowering) emitBinary(n *hdfg.Node, list *[]engine.Instr, dst engine.Slot) error {
+	op, ok := aluByOp[n.Op]
+	if !ok {
+		return fmt.Errorf("compiler: no ALU op for %v", n.Op)
+	}
+	a, b := c.slots[n.Args[0]], c.slots[n.Args[1]]
+	as, bs := n.Args[0].Shape, n.Args[1].Shape
+	// The contraction intermediate [a0,b0,k] needs one EW instruction per
+	// row of the first operand; everything else is a single EW whose
+	// operand indices wrap modulo the operand length (covers equal,
+	// scalar, and suffix broadcasting).
+	if n.Shape.NDim() == 3 {
+		ra, k := as[0], as[1]
+		rbk := bs.Size()
+		for i := 0; i < ra; i++ {
+			*list = append(*list, engine.Instr{
+				Kind: engine.KEW, Op: op,
+				Dst: engine.Slot{Base: dst.Base + i*rbk, Len: rbk},
+				A:   engine.Slot{Base: a.Base + i*k, Len: k},
+				B:   b,
+			})
+		}
+		return nil
+	}
+	*list = append(*list, engine.Instr{Kind: engine.KEW, Op: op, Dst: dst, A: a, B: b})
+	return nil
+}
+
+func (c *lowering) emitGroup(n *hdfg.Node, list *[]engine.Instr, dst engine.Slot) error {
+	arg := n.Args[0]
+	src := c.slots[arg]
+	var redOp engine.AluOp
+	switch n.Op {
+	case dsl.OpSigma, dsl.OpNorm:
+		redOp = engine.AAdd
+	case dsl.OpPi:
+		redOp = engine.AMul
+	default:
+		return fmt.Errorf("compiler: unknown group op %v", n.Op)
+	}
+	if n.Op == dsl.OpNorm {
+		// Lower norm as square -> reduce-add -> sqrt.
+		sq := c.alloc(arg.Shape.Size())
+		*list = append(*list, engine.Instr{Kind: engine.KEW, Op: engine.ASquare, Dst: sq, A: src})
+		src = sq
+	}
+	in := engine.Instr{Kind: engine.KReduce, Op: redOp, Dst: dst, A: src}
+	s := arg.Shape
+	switch s.NDim() {
+	case 1:
+		in.GroupSize, in.GStride, in.EStride = s[0], 0, 1
+	case 2:
+		if n.Axis == 2 { // reduce the second axis: out[i] over columns
+			in.GroupSize, in.GStride, in.EStride = s[1], s[1], 1
+		} else { // reduce the first axis: out[j] over rows
+			in.GroupSize, in.GStride, in.EStride = s[0], 1, s[1]
+		}
+	case 3:
+		in.GroupSize, in.GStride, in.EStride = s[2], s[2], 1
+	default:
+		return fmt.Errorf("compiler: group over rank %d", s.NDim())
+	}
+	*list = append(*list, in)
+	if n.Op == dsl.OpNorm {
+		*list = append(*list, engine.Instr{Kind: engine.KEW, Op: engine.ASqrt, Dst: dst, A: dst})
+	}
+	return nil
+}

@@ -1,0 +1,264 @@
+package compiler
+
+import (
+	"fmt"
+	"strings"
+
+	"dana/internal/engine"
+)
+
+// List scheduler (paper §6.2): "for scheduling and mapping a node, the
+// compiler keeps track of the sequence of scheduled nodes assigned to
+// each AC and AU on a per-cycle basis. For each node which is 'ready'
+// ... the compiler tries to place that operation with the goal to
+// improve throughput."
+//
+// ScheduleList performs dependence analysis over a macro-instruction
+// list and packs ready instructions into issue steps: instructions
+// bound for disjoint analytic clusters execute concurrently (the
+// MIMD-across-ACs / SIMD-within-AC execution model), subject to the
+// thread's lane capacity and a single memory-controller port for
+// gather/scatter. The result is the operation map stored in the
+// catalog and the makespan the throughput analysis reports.
+
+// Span is a half-open scratchpad interval [Lo, Hi).
+type Span struct{ Lo, Hi int }
+
+func (s Span) overlaps(o Span) bool { return s.Lo < o.Hi && o.Lo < s.Hi }
+
+// reads returns the scratchpad intervals an instruction reads.
+func reads(in engine.Instr) []Span {
+	var out []Span
+	add := func(s engine.Slot) {
+		if s.Len > 0 {
+			out = append(out, Span{s.Base, s.Base + s.Len})
+		}
+	}
+	switch in.Kind {
+	case engine.KEW:
+		add(in.A)
+		if !in.Op.IsUnary() {
+			add(in.B)
+		}
+	case engine.KReduce:
+		hi := in.A.Base + (in.Dst.Len-1)*in.GStride + (in.GroupSize-1)*in.EStride + 1
+		out = append(out, Span{in.A.Base, hi})
+	case engine.KGather:
+		add(in.A) // the index; the model read is tracked via modelSpan
+	case engine.KScatter:
+		add(in.A)
+		add(in.B)
+	}
+	return out
+}
+
+// writes returns the scratchpad interval an instruction writes.
+func writes(in engine.Instr, model engine.Slot) Span {
+	switch in.Kind {
+	case engine.KScatter:
+		// Dynamic row: conservatively the whole model.
+		return Span{model.Base, model.Base + model.Len}
+	default:
+		return Span{in.Dst.Base, in.Dst.Base + in.Dst.Len}
+	}
+}
+
+// Schedule is the packed issue plan for one instruction list.
+type Schedule struct {
+	// Steps holds instruction indices issued concurrently per step.
+	Steps [][]int
+	// StepCycles is each step's cost (the slowest packed instruction).
+	StepCycles []int64
+	// MakespanCycles is the scheduled execution time.
+	MakespanCycles int64
+	// SerialCycles is the in-order (no overlap) execution time.
+	SerialCycles int64
+	// CriticalPathCycles is the dependence-height lower bound.
+	CriticalPathCycles int64
+}
+
+// ILP returns the instruction-level parallelism the schedule exposes.
+func (s Schedule) ILP() float64 {
+	if s.MakespanCycles == 0 {
+		return 1
+	}
+	return float64(s.SerialCycles) / float64(s.MakespanCycles)
+}
+
+// ScheduleList builds the dependence graph of the list and packs it
+// greedily (longest-critical-path-first among ready instructions).
+func ScheduleList(list []engine.Instr, model engine.Slot, cfg engine.Config) Schedule {
+	n := len(list)
+	sched := Schedule{}
+	if n == 0 {
+		return sched
+	}
+	cycles := make([]int64, n)
+	for i, in := range list {
+		c := instrCost(in, cfg)
+		cycles[i] = c
+		sched.SerialCycles += c
+	}
+
+	// Dependence edges: j -> i for the latest prior conflicting access.
+	deps := make([][]int, n)
+	succs := make([][]int, n)
+	for i := 1; i < n; i++ {
+		wI := writes(list[i], model)
+		rI := reads(list[i])
+		for j := i - 1; j >= 0; j-- {
+			wJ := writes(list[j], model)
+			conflict := wI.overlaps(wJ) // WAW
+			if !conflict {
+				for _, r := range rI { // RAW
+					if r.overlaps(wJ) {
+						conflict = true
+						break
+					}
+				}
+			}
+			if !conflict {
+				for _, r := range reads(list[j]) { // WAR
+					if wI.overlaps(r) {
+						conflict = true
+						break
+					}
+				}
+			}
+			if conflict {
+				deps[i] = append(deps[i], j)
+				succs[j] = append(succs[j], i)
+			}
+		}
+	}
+
+	// Critical-path heights (list is topologically ordered by index).
+	height := make([]int64, n)
+	for i := n - 1; i >= 0; i-- {
+		var h int64
+		for _, s := range succs[i] {
+			if height[s] > h {
+				h = height[s]
+			}
+		}
+		height[i] = h + cycles[i]
+	}
+	for i := 0; i < n; i++ {
+		if len(deps[i]) == 0 && height[i] > sched.CriticalPathCycles {
+			sched.CriticalPathCycles = height[i]
+		}
+	}
+
+	// Greedy packing: issue the ready instruction with the greatest
+	// height first; fill the step with further ready instructions that
+	// fit the lane budget and the memory-controller port.
+	lanes := cfg.Lanes()
+	laneUse := func(in engine.Instr) int {
+		switch in.Kind {
+		case engine.KReduce:
+			return lanes // reductions use the whole cluster array + bus
+		case engine.KGather, engine.KScatter:
+			return 0 // memory controller, not AUs
+		default:
+			u := in.Dst.Len
+			if u > lanes {
+				u = lanes
+			}
+			return u
+		}
+	}
+	done := make([]bool, n)
+	pending := make([]int, n) // unscheduled dependency count
+	for i := range deps {
+		pending[i] = len(deps[i])
+	}
+	scheduled := 0
+	for scheduled < n {
+		// Collect ready instructions, highest first.
+		var ready []int
+		for i := 0; i < n; i++ {
+			if !done[i] && pending[i] == 0 {
+				ready = append(ready, i)
+			}
+		}
+		for a := 1; a < len(ready); a++ {
+			for b := a; b > 0 && height[ready[b]] > height[ready[b-1]]; b-- {
+				ready[b], ready[b-1] = ready[b-1], ready[b]
+			}
+		}
+		var step []int
+		laneBudget := lanes
+		mcUsed := false
+		var stepCost int64
+		for _, i := range ready {
+			in := list[i]
+			mc := in.Kind == engine.KGather || in.Kind == engine.KScatter
+			if mc && mcUsed {
+				continue
+			}
+			u := laneUse(in)
+			if u > laneBudget && len(step) > 0 {
+				continue
+			}
+			step = append(step, i)
+			laneBudget -= u
+			if mc {
+				mcUsed = true
+			}
+			if cycles[i] > stepCost {
+				stepCost = cycles[i]
+			}
+		}
+		for _, i := range step {
+			done[i] = true
+			scheduled++
+			for _, s := range succs[i] {
+				pending[s]--
+			}
+		}
+		sched.Steps = append(sched.Steps, step)
+		sched.StepCycles = append(sched.StepCycles, stepCost)
+		sched.MakespanCycles += stepCost
+	}
+	return sched
+}
+
+// instrCost mirrors the engine's static cycle model (kept here to avoid
+// exporting engine internals; validated against engine.Estimate by the
+// scheduler tests).
+func instrCost(in engine.Instr, cfg engine.Config) int64 {
+	lanes := cfg.Lanes()
+	ceil := func(a, b int) int64 { return int64((a + b - 1) / b) }
+	switch in.Kind {
+	case engine.KEW:
+		return ceil(in.Dst.Len, lanes) + int64(in.Op.Latency()) - 1
+	case engine.KReduce:
+		return ceil(in.Dst.Len*in.GroupSize, lanes) + 3 + int64(cfg.ACsPerThread-1)
+	case engine.KGather, engine.KScatter:
+		return ceil(in.RowLen, lanes) + 1
+	default:
+		return 1
+	}
+}
+
+// ScheduleProgram schedules the per-tuple list of a program (the hot
+// loop) and returns the schedule plus a rendered operation map.
+func ScheduleProgram(p *engine.Program, cfg engine.Config) Schedule {
+	return ScheduleList(p.PerTuple, p.ModelSlot, cfg)
+}
+
+// OperationMap renders the schedule as the per-step placement table the
+// catalog stores.
+func OperationMap(list []engine.Instr, s Schedule) string {
+	var b strings.Builder
+	for step, idxs := range s.Steps {
+		fmt.Fprintf(&b, "step %3d (%4d cyc):", step, s.StepCycles[step])
+		for _, i := range idxs {
+			fmt.Fprintf(&b, "  [%d] %s;", i, list[i])
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "serial %d cyc, scheduled %d cyc, critical path %d cyc, ILP %.2f\n",
+		s.SerialCycles, s.MakespanCycles, s.CriticalPathCycles, s.ILP())
+	return b.String()
+}

@@ -1,0 +1,191 @@
+package cost
+
+import (
+	"math"
+	"testing"
+)
+
+func sampleWorkload() Workload {
+	return Workload{
+		Tuples:                  581102,
+		Columns:                 55,
+		Epochs:                  3,
+		DatasetBytes:            154 << 20,
+		Pages:                   4924,
+		FlopsPerTuple:           224,
+		ModelParams:             54,
+		EpochCycles:             5e6,
+		SingleThreadEpochCycles: 6e7,
+		StriderPageCycles:       4500,
+		Striders:                32,
+	}
+}
+
+func TestPGWarmVsCold(t *testing.T) {
+	w := sampleWorkload()
+	p := Default()
+	warm := MADlibPostgres(w, p, true)
+	cold := MADlibPostgres(w, p, false)
+	if warm.IOSec != 0 {
+		t.Errorf("warm IO = %v for a dataset smaller than the pool", warm.IOSec)
+	}
+	if cold.IOSec <= 0 {
+		t.Error("cold run should pay I/O")
+	}
+	if cold.TotalSec <= warm.TotalSec {
+		t.Error("cold must be slower than warm")
+	}
+}
+
+func TestPGOutOfMemoryDatasetPaysIOEveryEpoch(t *testing.T) {
+	w := sampleWorkload()
+	w.DatasetBytes = 32 << 30 // 32 GB > 8 GB pool
+	w.Epochs = 10
+	p := Default()
+	warm := MADlibPostgres(w, p, true)
+	// At least (32-8) GB must be re-read per epoch.
+	minIO := float64(w.Epochs) * float64(24<<30) / p.DiskBytesPerSec
+	if warm.IOSec < minIO*0.99 {
+		t.Errorf("IO = %v, want >= %v", warm.IOSec, minIO)
+	}
+}
+
+func TestGreenplumPeaksAtEight(t *testing.T) {
+	p := Default()
+	p4 := greenplumParallelism(p, 4)
+	p8 := greenplumParallelism(p, 8)
+	p16 := greenplumParallelism(p, 16)
+	if !(p8 > p4 && p8 > p16) {
+		t.Errorf("parallelism 4/8/16 = %v/%v/%v, want a peak at 8", p4, p8, p16)
+	}
+	if greenplumParallelism(p, 1) != 1 {
+		t.Error("1 segment must be 1x")
+	}
+	// Figure 13 magnitude: ~2.1x at 8 segments.
+	if p8 < 1.7 || p8 > 2.6 {
+		t.Errorf("8-segment parallelism = %v, want ~2.1", p8)
+	}
+}
+
+func TestDAnAFasterThanPG(t *testing.T) {
+	w := sampleWorkload()
+	p := Default()
+	pg := MADlibPostgres(w, p, true)
+	dana := DAnA(w, p, true)
+	if dana.TotalSec >= pg.TotalSec {
+		t.Errorf("DAnA %v >= PG %v", dana.TotalSec, pg.TotalSec)
+	}
+}
+
+func TestStriderAblationOrdering(t *testing.T) {
+	w := sampleWorkload()
+	p := Default()
+	with := DAnA(w, p, true)
+	without := DAnANoStrider(w, p, true)
+	if with.TotalSec >= without.TotalSec {
+		t.Errorf("with striders %v >= without %v", with.TotalSec, without.TotalSec)
+	}
+	tabla := TABLA(w, p, true)
+	if tabla.TotalSec < without.TotalSec {
+		t.Error("TABLA (single-threaded) should not beat multi-threaded no-strider DAnA")
+	}
+}
+
+func TestBandwidthScalingMonotone(t *testing.T) {
+	w := sampleWorkload()
+	w.DatasetBytes = 4 << 30 // transfer-bound
+	p := Default()
+	prev := math.Inf(1)
+	for _, sc := range []float64{0.25, 0.5, 1, 2, 4} {
+		pp := p
+		pp.BandwidthScale = sc
+		cur := DAnAPipelineSec(w, pp)
+		if cur > prev {
+			t.Errorf("pipeline time increased at scale %v", sc)
+		}
+		prev = cur
+	}
+}
+
+func TestBandwidthDoesNotHelpComputeBound(t *testing.T) {
+	w := sampleWorkload()
+	w.EpochCycles = 1e12 // dominate everything
+	p := Default()
+	base := DAnAPipelineSec(w, p)
+	p.BandwidthScale = 4
+	if DAnAPipelineSec(w, p) != base {
+		t.Error("compute-bound workload should ignore bandwidth")
+	}
+}
+
+func TestDAnAEpochOverride(t *testing.T) {
+	w := sampleWorkload()
+	p := Default()
+	base := DAnA(w, p, true).TotalSec
+	w.DAnAEpochs = 1
+	fast := DAnA(w, p, true).TotalSec
+	if fast >= base {
+		t.Errorf("epoch override did not reduce time: %v >= %v", fast, base)
+	}
+	// But PG ignores the override.
+	if MADlibPostgres(w, p, true).TotalSec != MADlibPostgres(sampleWorkload(), p, true).TotalSec {
+		t.Error("PG must not see the DAnA epoch override")
+	}
+}
+
+func TestExternalLibraryPhases(t *testing.T) {
+	w := sampleWorkload()
+	p := Default()
+	lb := ExternalLibrary(Liblinear, "logistic", w, p)
+	if lb.ExportSec <= 0 || lb.TransformSec <= 0 || lb.ComputeSec <= 0 {
+		t.Errorf("breakdown = %+v", lb)
+	}
+	// Export dominates transform (Figure 15a).
+	if lb.ExportSec < 10*lb.TransformSec {
+		t.Errorf("export %v should dwarf transform %v", lb.ExportSec, lb.TransformSec)
+	}
+	// Liblinear has no linear regression.
+	lin := ExternalLibrary(Liblinear, "linear", w, p)
+	if !math.IsNaN(lin.ComputeSec) {
+		t.Error("Liblinear linear regression should be NaN")
+	}
+	if !math.IsNaN(ExternalLibrary(Liblinear, "linear", w, p).TotalSec) {
+		t.Error("NaN compute should propagate to total")
+	}
+}
+
+func TestSVMLibrariesSlowerThanMADlib(t *testing.T) {
+	w := sampleWorkload()
+	w.FlopsPerTuple = 6 * 54
+	p := Default()
+	pg := MADlibPostgres(w, p, true)
+	lb := ExternalLibrary(Liblinear, "svm", w, p)
+	dw := ExternalLibrary(DimmWitted, "svm", w, p)
+	// §7.3: for SVM the external solvers lose to in-database IGD even on
+	// compute time once the penalty applies at this scale.
+	if lb.TotalSec < pg.TotalSec || dw.TotalSec < pg.TotalSec {
+		t.Errorf("SVM libs should lose end-to-end: pg=%v lib=%v dw=%v", pg.TotalSec, lb.TotalSec, dw.TotalSec)
+	}
+}
+
+func TestSpeedupHelper(t *testing.T) {
+	a := Breakdown{TotalSec: 10}
+	b := Breakdown{TotalSec: 2}
+	if Speedup(a, b) != 5 {
+		t.Errorf("Speedup = %v", Speedup(a, b))
+	}
+}
+
+func TestDiskBreakEven(t *testing.T) {
+	// Crossover check: as the dataset grows past the pool, cold and warm
+	// converge (everything is I/O).
+	p := Default()
+	w := sampleWorkload()
+	w.DatasetBytes = 100 << 30
+	w.Epochs = 5
+	warm := MADlibPostgres(w, p, true)
+	cold := MADlibPostgres(w, p, false)
+	if (cold.TotalSec-warm.TotalSec)/cold.TotalSec > 0.05 {
+		t.Errorf("out-of-memory warm %v vs cold %v should nearly match", warm.TotalSec, cold.TotalSec)
+	}
+}

@@ -1,0 +1,221 @@
+package dsl
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Algo is one instance of a learning algorithm (paper's `dana.algo`
+// component): its data declarations, update rule, merge function, and
+// convergence criterion.
+type Algo struct {
+	Name string
+
+	ModelVar *Expr   // the dana.model declaration
+	Inputs   []*Expr // dana.input declarations
+	Outputs  []*Expr // dana.output declarations
+	Metas    []*Expr // dana.meta declarations
+
+	Updated     *Expr       // SetModel target: the updated model expression
+	RowUpdates  []RowUpdate // SetModelRow targets (LRMF-style sparse updates)
+	Convergence *Expr       // SetConvergence target (boolean expr), may be nil
+	Epochs      int         // SetEpochs value; 0 = until convergence
+	MergeNode   *Expr       // the (single) merge node, may be nil
+
+	Exprs []*Expr // every node, in creation order
+}
+
+// NewAlgo creates an empty algorithm definition.
+func NewAlgo(name string) *Algo { return &Algo{Name: name, Epochs: 1} }
+
+func (a *Algo) add(e *Expr) *Expr {
+	e.ID = len(a.Exprs)
+	e.algo = a
+	a.Exprs = append(a.Exprs, e)
+	return e
+}
+
+// Model declares the machine-learning model variable. dims of length 0
+// declares a scalar, length 1 a vector, length 2 a matrix.
+func (a *Algo) Model(dims ...int) *Expr {
+	e := a.add(&Expr{Op: OpLeaf, Kind: KModel, Dims: dims, Name: "model"})
+	if a.ModelVar == nil {
+		a.ModelVar = e
+	}
+	return e
+}
+
+// Input declares one input (feature vector) of the training tuple.
+func (a *Algo) Input(dims ...int) *Expr {
+	e := a.add(&Expr{Op: OpLeaf, Kind: KInput, Dims: dims, Name: fmt.Sprintf("in%d", len(a.Inputs))})
+	a.Inputs = append(a.Inputs, e)
+	return e
+}
+
+// Output declares one output (label) of the training tuple.
+func (a *Algo) Output(dims ...int) *Expr {
+	e := a.add(&Expr{Op: OpLeaf, Kind: KOutput, Dims: dims, Name: fmt.Sprintf("out%d", len(a.Outputs))})
+	a.Outputs = append(a.Outputs, e)
+	return e
+}
+
+// Meta declares a compile-time constant (learning rate, regularizer, …).
+func (a *Algo) Meta(v float64) *Expr {
+	e := a.add(&Expr{Op: OpLeaf, Kind: KMeta, MetaValue: v, Name: fmt.Sprintf("meta%d", len(a.Metas))})
+	a.Metas = append(a.Metas, e)
+	return e
+}
+
+// Merge declares how per-thread instances of x combine (paper
+// `algo.merge(x, coef, "op")`). op must be "+" or "*". coef is the merge
+// coefficient: the maximum number of parallel update-rule threads.
+func (a *Algo) Merge(x *Expr, coef int, op string) (*Expr, error) {
+	if a.MergeNode != nil {
+		return nil, errors.New("dsl: merge already declared")
+	}
+	if x.algo != a {
+		return nil, errors.New("dsl: merge argument belongs to a different algo")
+	}
+	if coef < 1 {
+		return nil, fmt.Errorf("dsl: merge coefficient %d < 1", coef)
+	}
+	var mop Op
+	switch op {
+	case "+":
+		mop = OpAdd
+	case "*":
+		mop = OpMul
+	default:
+		return nil, fmt.Errorf("dsl: unsupported merge operation %q", op)
+	}
+	m := a.add(&Expr{Op: OpMerge, Args: []*Expr{x}, MergeOp: mop, MergeCoef: coef})
+	a.MergeNode = m
+	return m, nil
+}
+
+// MustMerge is Merge that panics on error (builder convenience).
+func (a *Algo) MustMerge(x *Expr, coef int, op string) *Expr {
+	m, err := a.Merge(x, coef, op)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// RowUpdate describes a sparse model update: row Idx of the model is
+// replaced by Val (a vector expression). Used by LRMF-style algorithms
+// whose per-tuple update touches only the gathered rows (DESIGN.md
+// extension; the paper's Appendix B ISA is not public).
+type RowUpdate struct {
+	Idx *Expr // scalar row index (typically an input column)
+	Val *Expr // replacement row
+}
+
+// SetModel links the updated-model expression to the algo.
+func (a *Algo) SetModel(x *Expr) { a.Updated = x }
+
+// SetModelRow registers a sparse row update of the model.
+func (a *Algo) SetModelRow(idx, val *Expr) {
+	a.RowUpdates = append(a.RowUpdates, RowUpdate{Idx: idx, Val: val})
+}
+
+// SetConvergence sets the boolean convergence expression.
+func (a *Algo) SetConvergence(x *Expr) { a.Convergence = x }
+
+// SetEpochs fixes the number of training epochs.
+func (a *Algo) SetEpochs(n int) { a.Epochs = n }
+
+// MergeCoef returns the declared merge coefficient, defaulting to 1
+// (single-threaded) when no merge function was given.
+func (a *Algo) MergeCoef() int {
+	if a.MergeNode == nil {
+		return 1
+	}
+	return a.MergeNode.MergeCoef
+}
+
+// Consumers returns the expressions that directly use x as an operand.
+func (a *Algo) Consumers(x *Expr) []*Expr {
+	var out []*Expr
+	for _, e := range a.Exprs {
+		for _, arg := range e.Args {
+			if arg == x {
+				out = append(out, e)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Validate checks structural well-formedness of the UDF.
+func (a *Algo) Validate() error {
+	if a.ModelVar == nil {
+		return errors.New("dsl: algo has no model declaration")
+	}
+	if len(a.Inputs) == 0 {
+		return errors.New("dsl: algo has no input declaration")
+	}
+	if a.Updated == nil && len(a.RowUpdates) == 0 {
+		return errors.New("dsl: algo has no setModel or setModelRow")
+	}
+	if a.Epochs <= 0 && a.Convergence == nil {
+		return errors.New("dsl: algo needs setEpochs or setConvergence")
+	}
+	for _, e := range a.Exprs {
+		if e.algo != a {
+			return fmt.Errorf("dsl: expression %v belongs to another algo", e)
+		}
+		switch {
+		case e.Op == OpLeaf:
+			if len(e.Args) != 0 {
+				return fmt.Errorf("dsl: leaf %v has operands", e)
+			}
+			if len(e.Dims) > 2 {
+				return fmt.Errorf("dsl: %v: more than 2 dimensions are not supported", e)
+			}
+			for _, d := range e.Dims {
+				if d < 1 {
+					return fmt.Errorf("dsl: %v: dimension %d < 1", e, d)
+				}
+			}
+		case e.Op.IsBinary(), e.Op == OpGather:
+			if len(e.Args) != 2 {
+				return fmt.Errorf("dsl: %v needs 2 operands, has %d", e, len(e.Args))
+			}
+		case e.Op.IsNonLinear(), e.Op == OpMerge:
+			if len(e.Args) != 1 {
+				return fmt.Errorf("dsl: %v needs 1 operand, has %d", e, len(e.Args))
+			}
+		case e.Op.IsGroup():
+			if len(e.Args) != 1 {
+				return fmt.Errorf("dsl: %v needs 1 operand, has %d", e, len(e.Args))
+			}
+			if e.Axis < 1 || e.Axis > 2 {
+				return fmt.Errorf("dsl: %v: axis %d out of range [1,2]", e, e.Axis)
+			}
+		default:
+			return fmt.Errorf("dsl: unknown op in %v", e)
+		}
+		for _, arg := range e.Args {
+			if arg.ID >= e.ID {
+				return fmt.Errorf("dsl: %v references later expression #%d (cycle?)", e, arg.ID)
+			}
+		}
+	}
+	if a.Updated != nil && a.Updated.algo != a {
+		return errors.New("dsl: setModel expression belongs to another algo")
+	}
+	for _, ru := range a.RowUpdates {
+		if ru.Idx == nil || ru.Val == nil {
+			return errors.New("dsl: setModelRow with nil expression")
+		}
+		if ru.Idx.algo != a || ru.Val.algo != a {
+			return errors.New("dsl: setModelRow expression belongs to another algo")
+		}
+	}
+	if a.Convergence != nil && a.Convergence.algo != a {
+		return errors.New("dsl: setConvergence expression belongs to another algo")
+	}
+	return nil
+}

@@ -1,0 +1,430 @@
+package dsl
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildLinear constructs the paper's §4.3 linear regression via the
+// builder API.
+func buildLinear() *Algo {
+	a := NewAlgo("linearR")
+	mo := a.Model(10)
+	in := a.Input(10)
+	out := a.Output()
+	lr := a.Meta(0.3)
+	s := Sigma(Mul(mo, in), 1)
+	er := Sub(s, out)
+	grad := Mul(er, in)
+	up := Mul(lr, grad)
+	moUp := Sub(mo, up)
+	a.MustMerge(grad, 8, "+")
+	a.SetModel(moUp)
+	a.SetEpochs(100)
+	return a
+}
+
+func TestBuilderLinearRegression(t *testing.T) {
+	a := buildLinear()
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if a.MergeCoef() != 8 {
+		t.Errorf("MergeCoef = %d", a.MergeCoef())
+	}
+	if a.ModelVar == nil || len(a.ModelVar.Dims) != 1 || a.ModelVar.Dims[0] != 10 {
+		t.Errorf("model dims = %v", a.ModelVar.Dims)
+	}
+	if a.Updated == nil || a.Updated.Op != OpSub {
+		t.Errorf("updated model = %v", a.Updated)
+	}
+}
+
+func TestValidateCatchesMissingPieces(t *testing.T) {
+	a := NewAlgo("x")
+	if err := a.Validate(); err == nil {
+		t.Error("empty algo should not validate")
+	}
+	a.Model(4)
+	if err := a.Validate(); err == nil {
+		t.Error("algo without input should not validate")
+	}
+	in := a.Input(4)
+	if err := a.Validate(); err == nil {
+		t.Error("algo without setModel should not validate")
+	}
+	a.SetModel(in)
+	a.SetEpochs(0)
+	if err := a.Validate(); err == nil {
+		t.Error("algo without epochs or convergence should not validate")
+	}
+	a.SetEpochs(5)
+	if err := a.Validate(); err != nil {
+		t.Errorf("complete algo should validate: %v", err)
+	}
+}
+
+func TestMergeErrors(t *testing.T) {
+	a := NewAlgo("m")
+	mo := a.Model(2)
+	if _, err := a.Merge(mo, 0, "+"); err == nil {
+		t.Error("coef 0 should fail")
+	}
+	if _, err := a.Merge(mo, 4, "%"); err == nil {
+		t.Error("bad op should fail")
+	}
+	if _, err := a.Merge(mo, 4, "+"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Merge(mo, 4, "+"); err == nil {
+		t.Error("second merge should fail")
+	}
+	b := NewAlgo("other")
+	x := b.Model(2)
+	c := NewAlgo("third")
+	if _, err := c.Merge(x, 2, "+"); err == nil {
+		t.Error("cross-algo merge should fail")
+	}
+}
+
+func TestConsumers(t *testing.T) {
+	a := NewAlgo("c")
+	mo := a.Model(3)
+	in := a.Input(3)
+	p := Mul(mo, in)
+	q := Add(mo, p)
+	cons := a.Consumers(mo)
+	if len(cons) != 2 || cons[0] != p || cons[1] != q {
+		t.Errorf("Consumers(mo) = %v", cons)
+	}
+	if got := a.Consumers(q); len(got) != 0 {
+		t.Errorf("Consumers(q) = %v", got)
+	}
+}
+
+// paperLinearSrc is, verbatim modulo whitespace, the code from §4.3.
+const paperLinearSrc = `
+#Data Declarations
+mo = dana.model([10])
+in = dana.input([10])
+out = dana.output()
+lr = dana.meta(0.3) #learning rate
+linearR = dana.algo(mo, in, out)
+#Gradient or Derivative of the Loss Function
+s = sigma(mo * in, 1)
+er = s - out
+grad = er * in
+#Gradient Descent Optimizer
+up = lr * grad
+mo_up = mo - up
+linearR.setModel(mo_up)
+merge_coef = dana.meta(8)
+grad = linearR.merge(grad, merge_coef, "+")
+convergenceFactor = dana.meta(0.01)
+n = norm(grad, 1)
+conv = n < convergenceFactor
+linearR.setConvergence(conv)
+linearR.setEpochs(10000)
+`
+
+func TestParsePaperLinearRegression(t *testing.T) {
+	a, err := Parse(paperLinearSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Name != "linearR" {
+		t.Errorf("name = %q", a.Name)
+	}
+	if a.Epochs != 10000 {
+		t.Errorf("epochs = %d", a.Epochs)
+	}
+	if a.MergeCoef() != 8 {
+		t.Errorf("merge coef = %d", a.MergeCoef())
+	}
+	if a.MergeNode == nil || a.MergeNode.MergeOp != OpAdd {
+		t.Errorf("merge node = %v", a.MergeNode)
+	}
+	if a.Convergence == nil || a.Convergence.Op != OpLt {
+		t.Errorf("convergence = %v", a.Convergence)
+	}
+	if a.Updated == nil || a.Updated.Op != OpSub {
+		t.Errorf("updated = %v", a.Updated)
+	}
+	// The merged variable is grad = er * in.
+	if a.MergeNode.Args[0].Op != OpMul {
+		t.Errorf("merge arg = %v", a.MergeNode.Args[0])
+	}
+}
+
+func TestParseAveragedModelMerge(t *testing.T) {
+	src := `
+mo = dana.model([4])
+in = dana.input([4])
+out = dana.output()
+lr = dana.meta(0.1)
+linearR = dana.algo(mo, in, out)
+s = sigma(mo * in, 1)
+er = s - out
+grad = er * in
+up = lr * grad
+mo_up = mo - up
+merge_coef = dana.meta(8)
+m1 = linearR.merge(mo_up, merge_coef, "+")
+m2 = m1 / merge_coef
+linearR.setModel(m2)
+linearR.setEpochs(3)
+`
+	a, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// setModel target is the averaged merge result.
+	if a.Updated.Op != OpDiv {
+		t.Errorf("updated = %v", a.Updated)
+	}
+	if a.Updated.Args[0] != a.MergeNode {
+		t.Error("m2 should divide the merge node")
+	}
+}
+
+func TestParseMatrixDims(t *testing.T) {
+	src := `
+mo = dana.model([5][2])
+in = dana.input([2, 10])
+out = dana.output()
+al = dana.algo(mo, in, out)
+al.setModel(mo)
+al.setEpochs(1)
+`
+	a, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := a.ModelVar.Dims; len(d) != 2 || d[0] != 5 || d[1] != 2 {
+		t.Errorf("model dims = %v", d)
+	}
+	if d := a.Inputs[0].Dims; len(d) != 2 || d[0] != 2 || d[1] != 10 {
+		t.Errorf("input dims = %v", d)
+	}
+}
+
+func TestParseCurlyQuotes(t *testing.T) {
+	src := "mo = dana.model([2])\nin = dana.input([2])\nout = dana.output()\n" +
+		"a = dana.algo(mo, in, out)\ng = mo * in\n" +
+		"g2 = a.merge(g, 4, “+”)\na.setModel(mo)\na.setEpochs(1)\n"
+	a, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MergeCoef() != 4 {
+		t.Errorf("coef = %d", a.MergeCoef())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"undefined var", "mo = dana.model([2])\nx = mo * zz\n", "undefined variable"},
+		{"no algo", "mo = dana.model([2])\n", "no dana.algo"},
+		{"double algo", "mo = dana.model([2])\na = dana.algo(mo)\nb = dana.algo(mo)\n", "declared twice"},
+		{"bad decl", "x = dana.frobnicate(3)\n", "unknown declaration"},
+		{"bad method", "mo = dana.model([2])\na = dana.algo(mo)\na.launch(mo)\n", "unknown method"},
+		{"bad char", "x = $3\n", "unexpected character"},
+		{"unterminated string", `mo = dana.model([2])` + "\n" + `a = dana.algo(mo)` + "\n" + `b = a.merge(mo, 2, "+` + "\n", "unterminated"},
+		{"merge coef var not meta", "mo = dana.model([2])\na = dana.algo(mo)\nm = a.merge(mo, mo, \"+\")\n", "must be a dana.meta"},
+		{"group needs axis", "mo = dana.model([2])\na = dana.algo(mo)\nx = sigma(mo)\n", `expected ","`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse(c.src)
+			if err == nil {
+				t.Fatalf("Parse succeeded, want error containing %q", c.wantSub)
+			}
+			if !strings.Contains(err.Error(), c.wantSub) {
+				t.Errorf("error %q does not contain %q", err, c.wantSub)
+			}
+		})
+	}
+}
+
+func TestParseUnaryMinusAndParens(t *testing.T) {
+	src := `
+mo = dana.model([2])
+in = dana.input([2])
+out = dana.output()
+a = dana.algo(mo, in, out)
+x = -(mo * in) + out
+a.setModel(x)
+a.setEpochs(1)
+`
+	a, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Updated.Op != OpAdd {
+		t.Errorf("top op = %v", a.Updated.Op)
+	}
+}
+
+func TestOpPredicates(t *testing.T) {
+	if !OpSigma.IsGroup() || OpAdd.IsGroup() {
+		t.Error("IsGroup wrong")
+	}
+	if !OpSigmoid.IsNonLinear() || OpSigma.IsNonLinear() {
+		t.Error("IsNonLinear wrong")
+	}
+	if !OpLt.IsBinary() || OpSqrt.IsBinary() {
+		t.Error("IsBinary wrong")
+	}
+}
+
+func TestExprString(t *testing.T) {
+	a := NewAlgo("s")
+	mo := a.Model(2)
+	lr := a.Meta(0.5)
+	m := Mul(mo, lr)
+	if !strings.Contains(mo.String(), "model") {
+		t.Errorf("model String = %q", mo.String())
+	}
+	if !strings.Contains(lr.String(), "0.5") {
+		t.Errorf("meta String = %q", lr.String())
+	}
+	if !strings.Contains(m.String(), "*") {
+		t.Errorf("mul String = %q", m.String())
+	}
+}
+
+func TestParseSetModelRow(t *testing.T) {
+	src := `
+mo = dana.model([20][4])
+u = dana.input()
+v = dana.input()
+r = dana.output()
+lr = dana.meta(0.1)
+mf = dana.algo(mo, u, v, r)
+ur = gather(mo, u)
+vr = gather(mo, v)
+pred = sigma(ur * vr, 1)
+e = pred - r
+un = ur - lr * (e * vr)
+vn = vr - lr * (e * ur)
+mf.setModelRow(u, un)
+mf.setModelRow(v, vn)
+mf.setEpochs(2)
+`
+	a, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.RowUpdates) != 2 {
+		t.Fatalf("row updates = %d", len(a.RowUpdates))
+	}
+	if a.RowUpdates[0].Idx.Kind != KInput {
+		t.Errorf("row update index kind = %v", a.RowUpdates[0].Idx.Kind)
+	}
+}
+
+func TestParsePiAndGaussian(t *testing.T) {
+	src := `
+mo = dana.model([4])
+in = dana.input([4])
+out = dana.output()
+a = dana.algo(mo, in, out)
+g = gaussian(mo / in)
+p = pi(g, 1)
+s = sqrt(p)
+cond = s > 0.5
+a.setModel(mo)
+a.setConvergence(cond)
+a.setEpochs(1)
+`
+	al, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if al.Convergence == nil || al.Convergence.Op != OpGt {
+		t.Errorf("convergence = %v", al.Convergence)
+	}
+	seen := map[Op]bool{}
+	for _, e := range al.Exprs {
+		seen[e.Op] = true
+	}
+	for _, op := range []Op{OpGaussian, OpPi, OpSqrt, OpDiv, OpGt} {
+		if !seen[op] {
+			t.Errorf("op %v missing from parse", op)
+		}
+	}
+}
+
+func TestRenderRoundTripParses(t *testing.T) {
+	a := buildLinear()
+	src := Render(a)
+	b, err := Parse(src)
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\nsource:\n%s", err, src)
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatalf("re-parsed algo invalid: %v", err)
+	}
+	if b.MergeCoef() != a.MergeCoef() || b.Epochs != a.Epochs {
+		t.Errorf("coef/epochs drifted: %d/%d vs %d/%d", b.MergeCoef(), b.Epochs, a.MergeCoef(), a.Epochs)
+	}
+	if len(b.Exprs) != len(a.Exprs) {
+		t.Errorf("expr count %d vs %d\n%s", len(b.Exprs), len(a.Exprs), src)
+	}
+	// Ops appear in the same order.
+	for i := range a.Exprs {
+		if a.Exprs[i].Op != b.Exprs[i].Op {
+			t.Fatalf("expr %d: %v vs %v", i, a.Exprs[i].Op, b.Exprs[i].Op)
+		}
+	}
+}
+
+func TestRenderPaperSource(t *testing.T) {
+	a, err := Parse(paperLinearSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := Render(a)
+	for _, want := range []string{"dana.model([10])", "sigma(", "merge(", "setConvergence", "setEpochs(10000)"} {
+		if !strings.Contains(src, want) {
+			t.Errorf("rendered source missing %q:\n%s", want, src)
+		}
+	}
+	if _, err := Parse(src); err != nil {
+		t.Fatalf("rendered paper source does not re-parse: %v\n%s", err, src)
+	}
+}
+
+func TestRenderGatherAndRowUpdates(t *testing.T) {
+	a := NewAlgo("mf")
+	mo := a.Model(8, 3)
+	u := a.Input()
+	v := a.Input()
+	r := a.Output()
+	lr := a.Meta(0.1)
+	ur := Gather(mo, u)
+	vr := Gather(mo, v)
+	e := Sub(Sigma(Mul(ur, vr), 1), r)
+	a.SetModelRow(u, Sub(ur, Mul(lr, Mul(e, vr))))
+	a.SetModelRow(v, Sub(vr, Mul(lr, Mul(e, ur))))
+	a.SetEpochs(2)
+	src := Render(a)
+	b, err := Parse(src)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, src)
+	}
+	if len(b.RowUpdates) != 2 {
+		t.Errorf("row updates = %d\n%s", len(b.RowUpdates), src)
+	}
+}

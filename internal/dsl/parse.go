@@ -1,0 +1,611 @@
+package dsl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Parse reads a UDF written in the paper's Python snippet syntax and
+// returns the resulting Algo. Example (paper §4.3):
+//
+//	mo  = dana.model([10])
+//	in  = dana.input([10])
+//	out = dana.output()
+//	lr  = dana.meta(0.3)
+//	linearR = dana.algo(mo, in, out)
+//	s    = sigma(mo * in, 1)
+//	er   = s - out
+//	grad = er * in
+//	up   = lr * grad
+//	mo_up = mo - up
+//	merge_coef = dana.meta(8)
+//	grad = linearR.merge(grad, merge_coef, "+")
+//	linearR.setModel(mo_up)
+//	linearR.setEpochs(10000)
+func Parse(src string) (*Algo, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{
+		toks: toks,
+		algo: NewAlgo("udf"),
+		env:  make(map[string]*Expr),
+	}
+	if err := p.program(); err != nil {
+		return nil, err
+	}
+	if !p.algoNamed {
+		return nil, fmt.Errorf("dsl: no dana.algo(...) declaration in UDF")
+	}
+	return p.algo, nil
+}
+
+// --- lexer ------------------------------------------------------------------
+
+type tokKind uint8
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tNumber
+	tString
+	tPunct // one of . , ( ) [ ] = + - * / < >
+)
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+}
+
+func (t token) String() string {
+	if t.kind == tEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	rs := []rune(src)
+	i := 0
+	for i < len(rs) {
+		r := rs[i]
+		switch {
+		case r == '\n':
+			line++
+			i++
+		case unicode.IsSpace(r):
+			i++
+		case r == '#':
+			for i < len(rs) && rs[i] != '\n' {
+				i++
+			}
+		case r == '"' || r == '“' || r == '”': // straight or curly quotes
+			j := i + 1
+			for j < len(rs) && rs[j] != '"' && rs[j] != '“' && rs[j] != '”' {
+				j++
+			}
+			if j == len(rs) {
+				return nil, fmt.Errorf("dsl: line %d: unterminated string", line)
+			}
+			toks = append(toks, token{tString, string(rs[i+1 : j]), line})
+			i = j + 1
+		case unicode.IsLetter(r) || r == '_':
+			j := i
+			for j < len(rs) && (unicode.IsLetter(rs[j]) || unicode.IsDigit(rs[j]) || rs[j] == '_') {
+				j++
+			}
+			toks = append(toks, token{tIdent, string(rs[i:j]), line})
+			i = j
+		case unicode.IsDigit(r):
+			j := i
+			for j < len(rs) && (unicode.IsDigit(rs[j]) || rs[j] == '.' || rs[j] == 'e' || rs[j] == 'E' ||
+				((rs[j] == '+' || rs[j] == '-') && j > i && (rs[j-1] == 'e' || rs[j-1] == 'E'))) {
+				j++
+			}
+			toks = append(toks, token{tNumber, string(rs[i:j]), line})
+			i = j
+		case strings.ContainsRune(".,()[]=+-*/<>", r):
+			toks = append(toks, token{tPunct, string(r), line})
+			i++
+		default:
+			return nil, fmt.Errorf("dsl: line %d: unexpected character %q", line, r)
+		}
+	}
+	toks = append(toks, token{tEOF, "", line})
+	return toks, nil
+}
+
+// --- parser -----------------------------------------------------------------
+
+type parser struct {
+	toks      []token
+	pos       int
+	algo      *Algo
+	algoName  string
+	algoNamed bool
+	env       map[string]*Expr
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) accept(text string) bool {
+	if p.peek().kind == tPunct && p.peek().text == text {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(text string) error {
+	if !p.accept(text) {
+		return p.errf("expected %q, found %v", text, p.peek())
+	}
+	return nil
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("dsl: line %d: %s", p.peek().line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) program() error {
+	for p.peek().kind != tEOF {
+		if err := p.statement(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *parser) statement() error {
+	if p.peek().kind != tIdent {
+		return p.errf("expected statement, found %v", p.peek())
+	}
+	name := p.next().text
+	switch {
+	case p.accept("="):
+		return p.assign(name)
+	case p.accept("."):
+		return p.methodCall(name)
+	default:
+		return p.errf("expected '=' or '.' after %q", name)
+	}
+}
+
+// assign handles `name = rhs`.
+func (p *parser) assign(name string) error {
+	// dana.<decl>(...) ?
+	if p.peek().kind == tIdent && p.peek().text == "dana" {
+		p.next()
+		if err := p.expect("."); err != nil {
+			return err
+		}
+		if p.peek().kind != tIdent {
+			return p.errf("expected declaration after 'dana.'")
+		}
+		decl := p.next().text
+		return p.danaDecl(name, decl)
+	}
+	// algoName.merge(...) ?
+	if p.peek().kind == tIdent && p.algoNamed && p.peek().text == p.algoName && p.toks[p.pos+1].kind == tPunct && p.toks[p.pos+1].text == "." {
+		p.next()
+		p.next() // consume '.'
+		if p.peek().kind != tIdent || p.peek().text != "merge" {
+			return p.errf("only .merge(...) may appear on the right of an assignment")
+		}
+		p.next()
+		m, err := p.mergeCall()
+		if err != nil {
+			return err
+		}
+		p.bind(name, m)
+		return nil
+	}
+	e, err := p.expr()
+	if err != nil {
+		return err
+	}
+	p.bind(name, e)
+	return nil
+}
+
+func (p *parser) bind(name string, e *Expr) {
+	if e.Name == "" {
+		e.Name = name
+	}
+	p.env[name] = e
+}
+
+func (p *parser) danaDecl(name, decl string) error {
+	if err := p.expect("("); err != nil {
+		return err
+	}
+	switch decl {
+	case "model", "input", "output":
+		dims, err := p.dims()
+		if err != nil {
+			return err
+		}
+		if err := p.expect(")"); err != nil {
+			return err
+		}
+		var e *Expr
+		switch decl {
+		case "model":
+			e = p.algo.Model(dims...)
+		case "input":
+			e = p.algo.Input(dims...)
+		default:
+			e = p.algo.Output(dims...)
+		}
+		e.Name = name
+		p.env[name] = e
+		return nil
+	case "meta":
+		if p.peek().kind != tNumber {
+			return p.errf("dana.meta needs a numeric literal")
+		}
+		v, err := strconv.ParseFloat(p.next().text, 64)
+		if err != nil {
+			return p.errf("bad number: %v", err)
+		}
+		if err := p.expect(")"); err != nil {
+			return err
+		}
+		e := p.algo.Meta(v)
+		e.Name = name
+		p.env[name] = e
+		return nil
+	case "algo":
+		if p.algoNamed {
+			return p.errf("dana.algo declared twice")
+		}
+		for {
+			if p.peek().kind != tIdent {
+				return p.errf("dana.algo arguments must be declared variables")
+			}
+			arg := p.next().text
+			if _, ok := p.env[arg]; !ok {
+				return p.errf("dana.algo argument %q is not declared", arg)
+			}
+			if !p.accept(",") {
+				break
+			}
+		}
+		if err := p.expect(")"); err != nil {
+			return err
+		}
+		p.algoName = name
+		p.algoNamed = true
+		p.algo.Name = name
+		return nil
+	default:
+		return p.errf("unknown declaration dana.%s", decl)
+	}
+}
+
+// dims parses `[5][2]`, `[5, 2]`, `[10]`, or nothing (scalar).
+func (p *parser) dims() ([]int, error) {
+	var dims []int
+	for p.accept("[") {
+		for {
+			if p.peek().kind != tNumber {
+				return nil, p.errf("expected dimension size")
+			}
+			n, err := strconv.Atoi(p.next().text)
+			if err != nil {
+				return nil, p.errf("bad dimension: %v", err)
+			}
+			dims = append(dims, n)
+			if !p.accept(",") {
+				break
+			}
+		}
+		if err := p.expect("]"); err != nil {
+			return nil, err
+		}
+	}
+	return dims, nil
+}
+
+// methodCall handles `algoName.method(args)` statements.
+func (p *parser) methodCall(recv string) error {
+	if !p.algoNamed || recv != p.algoName {
+		return p.errf("method call on %q, but the algo is %q", recv, p.algoName)
+	}
+	if p.peek().kind != tIdent {
+		return p.errf("expected method name")
+	}
+	method := p.next().text
+	switch method {
+	case "setModel":
+		if err := p.expect("("); err != nil {
+			return err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return err
+		}
+		if err := p.expect(")"); err != nil {
+			return err
+		}
+		p.algo.SetModel(e)
+		return nil
+	case "setModelRow":
+		if err := p.expect("("); err != nil {
+			return err
+		}
+		idx, err := p.expr()
+		if err != nil {
+			return err
+		}
+		if err := p.expect(","); err != nil {
+			return err
+		}
+		val, err := p.expr()
+		if err != nil {
+			return err
+		}
+		if err := p.expect(")"); err != nil {
+			return err
+		}
+		p.algo.SetModelRow(idx, val)
+		return nil
+	case "setConvergence":
+		if err := p.expect("("); err != nil {
+			return err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return err
+		}
+		if err := p.expect(")"); err != nil {
+			return err
+		}
+		p.algo.SetConvergence(e)
+		return nil
+	case "setEpochs":
+		if err := p.expect("("); err != nil {
+			return err
+		}
+		if p.peek().kind != tNumber {
+			return p.errf("setEpochs needs an integer literal")
+		}
+		n, err := strconv.Atoi(p.next().text)
+		if err != nil {
+			return p.errf("bad epoch count: %v", err)
+		}
+		if err := p.expect(")"); err != nil {
+			return err
+		}
+		p.algo.SetEpochs(n)
+		return nil
+	case "merge":
+		m, err := p.mergeCall()
+		if err != nil {
+			return err
+		}
+		_ = m // merge used as a statement: the rewiring pass connects it
+		return nil
+	default:
+		return p.errf("unknown method %q", method)
+	}
+}
+
+// mergeCall parses `(x, coef, "+")` after `.merge`.
+func (p *parser) mergeCall() (*Expr, error) {
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	x, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(","); err != nil {
+		return nil, err
+	}
+	coef := 0
+	switch p.peek().kind {
+	case tNumber:
+		coef, err = strconv.Atoi(p.next().text)
+		if err != nil {
+			return nil, p.errf("bad merge coefficient: %v", err)
+		}
+	case tIdent:
+		ref, ok := p.env[p.peek().text]
+		if !ok || ref.Kind != KMeta {
+			return nil, p.errf("merge coefficient %q must be a dana.meta variable or literal", p.peek().text)
+		}
+		p.next()
+		coef = int(ref.MetaValue)
+	default:
+		return nil, p.errf("expected merge coefficient")
+	}
+	if err := p.expect(","); err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tString {
+		return nil, p.errf("expected merge operation string")
+	}
+	op := p.next().text
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	m, err := p.algo.Merge(x, coef, op)
+	if err != nil {
+		return nil, p.errf("%v", err)
+	}
+	return m, nil
+}
+
+// --- expression grammar: cmp > addsub > muldiv > primary ---------------------
+
+func (p *parser) expr() (*Expr, error) { return p.cmp() }
+
+func (p *parser) cmp() (*Expr, error) {
+	left, err := p.addsub()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op Op
+		switch {
+		case p.accept("<"):
+			op = OpLt
+		case p.accept(">"):
+			op = OpGt
+		default:
+			return left, nil
+		}
+		right, err := p.addsub()
+		if err != nil {
+			return nil, err
+		}
+		left = binop(op, left, right)
+	}
+}
+
+func (p *parser) addsub() (*Expr, error) {
+	left, err := p.muldiv()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op Op
+		switch {
+		case p.accept("+"):
+			op = OpAdd
+		case p.accept("-"):
+			op = OpSub
+		default:
+			return left, nil
+		}
+		right, err := p.muldiv()
+		if err != nil {
+			return nil, err
+		}
+		left = binop(op, left, right)
+	}
+}
+
+func (p *parser) muldiv() (*Expr, error) {
+	left, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op Op
+		switch {
+		case p.accept("*"):
+			op = OpMul
+		case p.accept("/"):
+			op = OpDiv
+		default:
+			return left, nil
+		}
+		right, err := p.primary()
+		if err != nil {
+			return nil, err
+		}
+		left = binop(op, left, right)
+	}
+}
+
+var exprFuncs = map[string]Op{
+	"sigma": OpSigma, "pi": OpPi, "norm": OpNorm,
+	"sigmoid": OpSigmoid, "gaussian": OpGaussian, "sqrt": OpSqrt,
+	"gather": OpGather,
+}
+
+func (p *parser) primary() (*Expr, error) {
+	t := p.peek()
+	switch t.kind {
+	case tNumber:
+		p.next()
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, p.errf("bad number %q: %v", t.text, err)
+		}
+		// Bare literals in expressions become implicit meta constants.
+		return p.algo.Meta(v), nil
+	case tIdent:
+		if op, ok := exprFuncs[t.text]; ok && p.toks[p.pos+1].kind == tPunct && p.toks[p.pos+1].text == "(" {
+			p.next()
+			p.next() // '('
+			arg, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			var e *Expr
+			switch {
+			case op.IsGroup():
+				if err := p.expect(","); err != nil {
+					return nil, err
+				}
+				if p.peek().kind != tNumber {
+					return nil, p.errf("group operation needs a constant axis")
+				}
+				axis, err := strconv.Atoi(p.next().text)
+				if err != nil {
+					return nil, p.errf("bad axis: %v", err)
+				}
+				e = groupop(op, arg, axis)
+			case op == OpGather:
+				if err := p.expect(","); err != nil {
+					return nil, err
+				}
+				idx, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				e = Gather(arg, idx)
+			default:
+				e = unop(op, arg)
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+		p.next()
+		e, ok := p.env[t.text]
+		if !ok {
+			return nil, p.errf("undefined variable %q", t.text)
+		}
+		return e, nil
+	case tPunct:
+		if t.text == "(" {
+			p.next()
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+		if t.text == "-" { // unary minus: 0 - x
+			p.next()
+			x, err := p.primary()
+			if err != nil {
+				return nil, err
+			}
+			return Sub(p.algo.Meta(0), x), nil
+		}
+	}
+	return nil, p.errf("unexpected token %v in expression", t)
+}

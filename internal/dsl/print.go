@@ -1,0 +1,133 @@
+package dsl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Render prints an Algo back as DSL source (the inverse of Parse). The
+// output is valid input for Parse: declarations first, then one
+// assignment per operation node in creation order, then the merge,
+// model, and convergence statements. Used by tooling to display the
+// UDFs the catalog stores, and tested as a parse→print→parse
+// round trip.
+func Render(a *Algo) string {
+	var b strings.Builder
+	names := make(map[*Expr]string, len(a.Exprs))
+	used := make(map[string]bool)
+
+	fresh := func(prefix string, e *Expr) string {
+		n := e.Name
+		if n == "" || used[n] {
+			for i := 0; ; i++ {
+				cand := fmt.Sprintf("%s%d", prefix, i)
+				if !used[cand] {
+					n = cand
+					break
+				}
+			}
+		}
+		used[n] = true
+		names[e] = n
+		return n
+	}
+
+	algoName := a.Name
+	if algoName == "" {
+		algoName = "udf"
+	}
+	used[algoName] = true
+
+	// Declarations.
+	var declOrder []*Expr
+	for _, e := range a.Exprs {
+		if e.Op == OpLeaf {
+			declOrder = append(declOrder, e)
+		}
+	}
+	algoArgs := []string{}
+	for _, e := range declOrder {
+		switch e.Kind {
+		case KModel:
+			n := fresh("mo", e)
+			fmt.Fprintf(&b, "%s = dana.model(%s)\n", n, dimsOf(e))
+			algoArgs = append(algoArgs, n)
+		case KInput:
+			n := fresh("in", e)
+			fmt.Fprintf(&b, "%s = dana.input(%s)\n", n, dimsOf(e))
+			algoArgs = append(algoArgs, n)
+		case KOutput:
+			n := fresh("out", e)
+			fmt.Fprintf(&b, "%s = dana.output(%s)\n", n, dimsOf(e))
+			algoArgs = append(algoArgs, n)
+		case KMeta:
+			n := fresh("c", e)
+			fmt.Fprintf(&b, "%s = dana.meta(%s)\n", n, strconv.FormatFloat(e.MetaValue, 'g', -1, 64))
+		}
+	}
+	fmt.Fprintf(&b, "%s = dana.algo(%s)\n", algoName, strings.Join(algoArgs, ", "))
+
+	// Operations in creation order. The merge node renders through the
+	// algo method; its consumers reference its bound name.
+	for _, e := range a.Exprs {
+		if e.Op == OpLeaf {
+			continue
+		}
+		n := fresh("t", e)
+		if e.Op == OpMerge {
+			fmt.Fprintf(&b, "%s = %s.merge(%s, %d, \"%s\")\n",
+				n, algoName, names[e.Args[0]], e.MergeCoef, e.MergeOp)
+			continue
+		}
+		fmt.Fprintf(&b, "%s = %s\n", n, renderExpr(e, names))
+	}
+
+	for _, ru := range a.RowUpdates {
+		fmt.Fprintf(&b, "%s.setModelRow(%s, %s)\n", algoName, names[ru.Idx], names[ru.Val])
+	}
+	if a.Updated != nil {
+		fmt.Fprintf(&b, "%s.setModel(%s)\n", algoName, names[a.Updated])
+	}
+	if a.Convergence != nil {
+		fmt.Fprintf(&b, "%s.setConvergence(%s)\n", algoName, names[a.Convergence])
+	}
+	fmt.Fprintf(&b, "%s.setEpochs(%d)\n", algoName, a.Epochs)
+	return b.String()
+}
+
+func dimsOf(e *Expr) string {
+	if len(e.Dims) == 0 {
+		return ""
+	}
+	parts := make([]string, len(e.Dims))
+	for i, d := range e.Dims {
+		parts[i] = strconv.Itoa(d)
+	}
+	return "[" + strings.Join(parts, ", ") + "]"
+}
+
+// renderExpr prints a single operation over already-named operands.
+func renderExpr(e *Expr, names map[*Expr]string) string {
+	ref := func(a *Expr) string {
+		if n, ok := names[a]; ok {
+			return n
+		}
+		// Operand created later than first use cannot happen (DAG built
+		// forward), but guard anyway.
+		return fmt.Sprintf("_%d", a.ID)
+	}
+	switch {
+	case e.Op.IsBinary():
+		op := e.Op.String()
+		return fmt.Sprintf("%s %s %s", ref(e.Args[0]), op, ref(e.Args[1]))
+	case e.Op.IsNonLinear():
+		return fmt.Sprintf("%s(%s)", e.Op, ref(e.Args[0]))
+	case e.Op.IsGroup():
+		return fmt.Sprintf("%s(%s, %d)", e.Op, ref(e.Args[0]), e.Axis)
+	case e.Op == OpGather:
+		return fmt.Sprintf("gather(%s, %s)", ref(e.Args[0]), ref(e.Args[1]))
+	default:
+		return fmt.Sprintf("/* %v */", e)
+	}
+}

@@ -1,0 +1,393 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+)
+
+// Stats aggregates execution counters of a Machine.
+type Stats struct {
+	Cycles        int64 // total accelerator cycles
+	ComputeCycles int64 // per-tuple + post-merge instruction cycles
+	MergeCycles   int64 // tree-bus merge and model broadcast cycles
+	LoadCycles    int64 // input FIFO -> scratchpad distribution cycles
+	Tuples        int64
+	Batches       int64
+	Instructions  int64
+}
+
+// Seconds converts the cycle count to simulated seconds at the clock.
+func (s Stats) Seconds(clockHz float64) float64 { return float64(s.Cycles) / clockHz }
+
+// Machine executes a compiled Program on a configured instance of the
+// template architecture, producing real results and cycle counts.
+type Machine struct {
+	Prog *Program
+	Cfg  Config
+
+	scratch [][]float32 // per-thread scratchpads
+	stats   Stats
+}
+
+// NewMachine instantiates the accelerator.
+func NewMachine(p *Program, cfg Config) (*Machine, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Machine{Prog: p, Cfg: cfg, scratch: make([][]float32, cfg.Threads)}
+	for t := range m.scratch {
+		m.scratch[t] = make([]float32, p.Slots)
+		copy(m.scratch[t][p.ConstSlot.Base:p.ConstSlot.Base+p.ConstSlot.Len], p.Consts)
+	}
+	return m, nil
+}
+
+// Stats returns a snapshot of the counters.
+func (m *Machine) Stats() Stats { return m.stats }
+
+// ResetStats zeroes the counters.
+func (m *Machine) ResetStats() { m.stats = Stats{} }
+
+// Model returns a copy of the current model parameters.
+func (m *Machine) Model() []float32 {
+	s := m.Prog.ModelSlot
+	out := make([]float32, s.Len)
+	copy(out, m.scratch[0][s.Base:s.Base+s.Len])
+	return out
+}
+
+// SetModel loads model parameters into every thread.
+func (m *Machine) SetModel(vals []float32) error {
+	s := m.Prog.ModelSlot
+	if len(vals) != s.Len {
+		return fmt.Errorf("engine: model has %d parameters, got %d", s.Len, len(vals))
+	}
+	for t := range m.scratch {
+		copy(m.scratch[t][s.Base:s.Base+s.Len], vals)
+	}
+	return nil
+}
+
+func ceilDiv(a, b int) int {
+	if b <= 0 {
+		return a
+	}
+	return (a + b - 1) / b
+}
+
+func log2Ceil(n int) int {
+	k := 0
+	for v := 1; v < n; v <<= 1 {
+		k++
+	}
+	return k
+}
+
+func alu(op AluOp, a, b float32) float32 {
+	switch op {
+	case AMov:
+		return a
+	case AAdd:
+		return a + b
+	case ASub:
+		return a - b
+	case AMul:
+		return a * b
+	case ADiv:
+		return a / b
+	case ALt:
+		if a < b {
+			return 1
+		}
+		return 0
+	case AGt:
+		if a > b {
+			return 1
+		}
+		return 0
+	case ASigmoid:
+		return float32(1 / (1 + math.Exp(-float64(a))))
+	case AGaussian:
+		return float32(math.Exp(-float64(a) * float64(a)))
+	case ASqrt:
+		return float32(math.Sqrt(float64(a)))
+	case ASquare:
+		return a * a
+	default:
+		return a
+	}
+}
+
+// exec runs one macro instruction on thread t, returning its cycles.
+func (m *Machine) exec(t int, in Instr) (int, error) {
+	th := m.scratch[t]
+	m.stats.Instructions++
+	switch in.Kind {
+	case KEW:
+		if in.A.Len <= 0 || (!in.Op.IsUnary() && in.B.Len <= 0) {
+			return 0, fmt.Errorf("engine: EW with empty source: %v", in)
+		}
+		for i := 0; i < in.Dst.Len; i++ {
+			a := th[in.A.Base+i%in.A.Len]
+			var b float32
+			if !in.Op.IsUnary() {
+				b = th[in.B.Base+i%in.B.Len]
+			}
+			th[in.Dst.Base+i] = alu(in.Op, a, b)
+		}
+		return instrCycles(in, m.Cfg), nil
+	case KReduce:
+		for g := 0; g < in.Dst.Len; g++ {
+			var acc float32
+			for e := 0; e < in.GroupSize; e++ {
+				v := th[in.A.Base+g*in.GStride+e*in.EStride]
+				if e == 0 {
+					acc = v
+				} else {
+					acc = alu(in.Op, acc, v)
+				}
+			}
+			th[in.Dst.Base+g] = acc
+		}
+		return instrCycles(in, m.Cfg), nil
+	case KGather:
+		idx := int(math.Round(float64(th[in.A.Base])))
+		rows := m.Prog.ModelSlot.Len / in.RowLen
+		if idx < 0 || idx >= rows {
+			return 0, fmt.Errorf("engine: gather row %d outside model of %d rows", idx, rows)
+		}
+		src := m.Prog.ModelSlot.Base + idx*in.RowLen
+		copy(th[in.Dst.Base:in.Dst.Base+in.RowLen], th[src:src+in.RowLen])
+		return instrCycles(in, m.Cfg), nil
+	case KScatter:
+		idx := int(math.Round(float64(th[in.B.Base])))
+		rows := m.Prog.ModelSlot.Len / in.RowLen
+		if idx < 0 || idx >= rows {
+			return 0, fmt.Errorf("engine: scatter row %d outside model of %d rows", idx, rows)
+		}
+		dst := m.Prog.ModelSlot.Base + idx*in.RowLen
+		copy(th[dst:dst+in.RowLen], th[in.A.Base:in.A.Base+in.RowLen])
+		return instrCycles(in, m.Cfg), nil
+	default:
+		return 0, fmt.Errorf("engine: invalid instruction kind %d", in.Kind)
+	}
+}
+
+// runList executes an instruction list on thread t, returning cycles.
+func (m *Machine) runList(t int, list []Instr) (int64, error) {
+	var cyc int64
+	for _, in := range list {
+		c, err := m.exec(t, in)
+		if err != nil {
+			return cyc, err
+		}
+		cyc += int64(c)
+	}
+	return cyc, nil
+}
+
+// loadTuple writes tuple values into thread t's input region.
+func (m *Machine) loadTuple(t int, tuple []float32) (int, error) {
+	s := m.Prog.InputSlot
+	if len(tuple) != s.Len {
+		return 0, fmt.Errorf("engine: tuple width %d, input region %d", len(tuple), s.Len)
+	}
+	copy(m.scratch[t][s.Base:s.Base+s.Len], tuple)
+	// The access engine distributes 8 values per cycle per thread FIFO.
+	return ceilDiv(s.Len, 8), nil
+}
+
+// RunBatch executes one merge batch. Without a merge function the batch
+// runs tuple-at-a-time SGD on thread 0; with one, tuples are dealt
+// round-robin over the threads, per-thread merge values accumulate
+// locally, and the tree bus combines them before the post-merge update.
+func (m *Machine) RunBatch(tuples [][]float32) error {
+	p := m.Prog
+	if len(tuples) == 0 {
+		return nil
+	}
+	m.stats.Batches++
+	m.stats.Tuples += int64(len(tuples))
+
+	if !p.HasMerge() {
+		var cyc int64
+		for _, tup := range tuples {
+			lc, err := m.loadTuple(0, tup)
+			if err != nil {
+				return err
+			}
+			m.stats.LoadCycles += int64(lc)
+			cc, err := m.runList(0, p.PerTuple)
+			if err != nil {
+				return err
+			}
+			rc, err := m.runList(0, p.RowUpdates)
+			if err != nil {
+				return err
+			}
+			m.stats.ComputeCycles += cc + rc
+			cyc += int64(lc) + cc + rc
+			if p.UpdatedSlot.Len > 0 {
+				copy(m.scratch[0][p.ModelSlot.Base:p.ModelSlot.Base+p.ModelSlot.Len],
+					m.scratch[0][p.UpdatedSlot.Base:p.UpdatedSlot.Base+p.UpdatedSlot.Len])
+				wb := int64(ceilDiv(p.ModelSlot.Len, m.Cfg.Lanes()))
+				m.stats.ComputeCycles += wb
+				cyc += wb
+			}
+		}
+		m.stats.Cycles += cyc
+		return nil
+	}
+
+	k := m.Cfg.Threads
+	if k > len(tuples) {
+		k = len(tuples)
+	}
+	accs := make([][]float32, k)
+	threadCycles := make([]int64, k)
+	for i, tup := range tuples {
+		t := i % k
+		lc, err := m.loadTuple(t, tup)
+		if err != nil {
+			return err
+		}
+		cc, err := m.runList(t, p.PerTuple)
+		if err != nil {
+			return err
+		}
+		threadCycles[t] += int64(lc) + cc
+		m.stats.LoadCycles += int64(lc)
+		m.stats.ComputeCycles += cc
+		src := m.scratch[t][p.MergeSrc.Base : p.MergeSrc.Base+p.MergeSrc.Len]
+		if accs[t] == nil {
+			accs[t] = append([]float32(nil), src...)
+		} else {
+			for j := range accs[t] {
+				accs[t][j] = alu(p.MergeOp, accs[t][j], src[j])
+			}
+			lac := int64(ceilDiv(p.MergeSrc.Len, m.Cfg.Lanes()))
+			threadCycles[t] += lac
+			m.stats.ComputeCycles += lac
+		}
+	}
+	// Threads run in parallel: the batch takes as long as the slowest.
+	var maxT int64
+	for _, c := range threadCycles {
+		if c > maxT {
+			maxT = c
+		}
+	}
+	m.stats.Cycles += maxT
+
+	// Tree-bus merge: log2(k) stages over an 8-ALU bus.
+	merged := accs[0]
+	for t := 1; t < k; t++ {
+		for j := range merged {
+			merged[j] = alu(p.MergeOp, merged[j], accs[t][j])
+		}
+	}
+	mc := int64(ceilDiv(p.MergeSrc.Len, 8) * max(1, log2Ceil(k)))
+	if k == 1 {
+		mc = 0
+	}
+	m.stats.MergeCycles += mc
+	m.stats.Cycles += mc
+	copy(m.scratch[0][p.MergeDst.Base:p.MergeDst.Base+p.MergeDst.Len], merged)
+
+	// Post-merge stage on thread 0.
+	pc, err := m.runList(0, p.PostMerge)
+	if err != nil {
+		return err
+	}
+	rc, err := m.runList(0, p.RowUpdates)
+	if err != nil {
+		return err
+	}
+	m.stats.ComputeCycles += pc + rc
+	m.stats.Cycles += pc + rc
+
+	// Model update + broadcast to every thread over the bus.
+	if p.UpdatedSlot.Len > 0 {
+		newModel := m.scratch[0][p.UpdatedSlot.Base : p.UpdatedSlot.Base+p.UpdatedSlot.Len]
+		tmp := append([]float32(nil), newModel...)
+		for t := 0; t < m.Cfg.Threads; t++ {
+			copy(m.scratch[t][p.ModelSlot.Base:p.ModelSlot.Base+p.ModelSlot.Len], tmp)
+		}
+		bc := int64(ceilDiv(p.ModelSlot.Len, 8))
+		m.stats.MergeCycles += bc
+		m.stats.Cycles += bc
+	} else if len(p.RowUpdates) > 0 && m.Cfg.Threads > 1 {
+		// Row updates landed on thread 0's model copy; sync the rest.
+		src := m.scratch[0][p.ModelSlot.Base : p.ModelSlot.Base+p.ModelSlot.Len]
+		for t := 1; t < m.Cfg.Threads; t++ {
+			copy(m.scratch[t][p.ModelSlot.Base:p.ModelSlot.Base+p.ModelSlot.Len], src)
+		}
+		bc := int64(ceilDiv(p.ModelSlot.Len, 8))
+		m.stats.MergeCycles += bc
+		m.stats.Cycles += bc
+	}
+	return nil
+}
+
+// RunEpoch processes the tuples in merge-coefficient batches.
+func (m *Machine) RunEpoch(tuples [][]float32, batchSize int) error {
+	if batchSize < 1 {
+		batchSize = 1
+	}
+	for i := 0; i < len(tuples); i += batchSize {
+		end := i + batchSize
+		if end > len(tuples) {
+			end = len(tuples)
+		}
+		if err := m.RunBatch(tuples[i:end]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Converged evaluates the convergence program (thread 0).
+func (m *Machine) Converged() (bool, error) {
+	p := m.Prog
+	if p.ConvSlot.Len == 0 {
+		return false, nil
+	}
+	cyc, err := m.runList(0, p.Convergence)
+	if err != nil {
+		return false, err
+	}
+	m.stats.ComputeCycles += cyc
+	m.stats.Cycles += cyc
+	return m.scratch[0][p.ConvSlot.Base] > 0.5, nil
+}
+
+// Train runs up to maxEpochs epochs (0 = the program's own budget is
+// managed by the caller), checking convergence after each.
+func (m *Machine) Train(tuples [][]float32, batchSize, maxEpochs int) (int, error) {
+	if maxEpochs < 1 {
+		maxEpochs = 1
+	}
+	for e := 1; e <= maxEpochs; e++ {
+		if err := m.RunEpoch(tuples, batchSize); err != nil {
+			return e - 1, err
+		}
+		done, err := m.Converged()
+		if err != nil {
+			return e, err
+		}
+		if done {
+			return e, nil
+		}
+	}
+	return maxEpochs, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

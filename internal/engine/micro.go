@@ -1,0 +1,182 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+)
+
+// instrCycles returns the static cycle cost of a macro instruction under
+// the configuration — identical to what Machine.exec charges, so static
+// estimates match dynamic execution exactly (the property §6.1 relies on:
+// "there are no dynamic irregularities that hinder estimation").
+func instrCycles(in Instr, cfg Config) int {
+	lanes := cfg.Lanes()
+	switch in.Kind {
+	case KEW:
+		return ceilDiv(in.Dst.Len, lanes) + in.Op.Latency() - 1
+	case KReduce:
+		return ceilDiv(in.Dst.Len*in.GroupSize, lanes) + 3 + (cfg.ACsPerThread - 1)
+	case KGather, KScatter:
+		return ceilDiv(in.RowLen, lanes) + 1
+	default:
+		return 1
+	}
+}
+
+func listCycles(list []Instr, cfg Config) int64 {
+	var c int64
+	for _, in := range list {
+		c += int64(instrCycles(in, cfg))
+	}
+	return c
+}
+
+// CycleEstimate is the static performance model of one configuration.
+type CycleEstimate struct {
+	PerTuple    int64 // cycles per training tuple on one thread (incl. load)
+	LocalAcc    int64 // cycles to fold one extra tuple into the thread-local merge value
+	MergeBatch  int64 // tree-bus merge cycles per batch
+	PostMerge   int64 // post-merge update cycles per batch
+	Broadcast   int64 // model write-back/broadcast cycles per batch
+	Convergence int64 // cycles per epoch
+}
+
+// BatchCycles returns the modeled cycles for one batch of `batch` tuples
+// on `threads` live threads.
+func (e CycleEstimate) BatchCycles(batch, threads int) int64 {
+	if batch <= 0 {
+		return 0
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	if threads > batch {
+		threads = batch
+	}
+	perThread := ceilDiv(batch, threads)
+	c := int64(perThread)*e.PerTuple + int64(perThread-1)*e.LocalAcc
+	if threads > 1 {
+		c += e.MergeBatch
+	}
+	return c + e.PostMerge + e.Broadcast
+}
+
+// EpochCycles returns modeled cycles for one epoch over n tuples.
+func (e CycleEstimate) EpochCycles(n, batch, threads int) int64 {
+	if batch < 1 {
+		batch = 1
+	}
+	full := n / batch
+	c := int64(full) * e.BatchCycles(batch, threads)
+	if rem := n % batch; rem > 0 {
+		c += e.BatchCycles(rem, threads)
+	}
+	return c + e.Convergence
+}
+
+// Estimate computes the static cycle model of a program under cfg.
+func (p *Program) Estimate(cfg Config) CycleEstimate {
+	est := CycleEstimate{
+		PerTuple:    int64(ceilDiv(p.InputSlot.Len, 8)) + listCycles(p.PerTuple, cfg) + listCycles(p.RowUpdates, cfg),
+		PostMerge:   listCycles(p.PostMerge, cfg),
+		Convergence: listCycles(p.Convergence, cfg),
+	}
+	if p.HasMerge() {
+		est.LocalAcc = int64(ceilDiv(p.MergeSrc.Len, cfg.Lanes()))
+		est.MergeBatch = int64(ceilDiv(p.MergeSrc.Len, 8) * max(1, log2Ceil(cfg.Threads)))
+	}
+	if p.UpdatedSlot.Len > 0 {
+		if p.HasMerge() {
+			est.Broadcast = int64(ceilDiv(p.ModelSlot.Len, 8))
+		} else {
+			est.Broadcast = int64(ceilDiv(p.ModelSlot.Len, cfg.Lanes()))
+			// Without a merge the write-back happens per tuple.
+			est.PerTuple += est.Broadcast
+			est.Broadcast = 0
+		}
+	} else if len(p.RowUpdates) > 0 && cfg.Threads > 1 {
+		est.Broadcast = int64(ceilDiv(p.ModelSlot.Len, 8))
+	}
+	return est
+}
+
+// MicroStats summarizes the selective-SIMD micro-instruction expansion
+// of a program: how many AC-level instructions each AC's instruction
+// buffer holds per stage.
+type MicroStats struct {
+	PerTupleMicroOps  int
+	PostMergeMicroOps int
+	ConvMicroOps      int
+}
+
+// microOps returns AC-level instruction count for one macro instruction:
+// one micro-op per wave per AC touched.
+func microOps(in Instr, cfg Config) int {
+	lanes := cfg.Lanes()
+	switch in.Kind {
+	case KEW:
+		waves := ceilDiv(in.Dst.Len, lanes)
+		acs := ceilDiv(min(in.Dst.Len, lanes), cfg.AUsPerAC)
+		return waves * acs
+	case KReduce:
+		waves := ceilDiv(in.Dst.Len*in.GroupSize, lanes)
+		acs := ceilDiv(min(in.Dst.Len*in.GroupSize, lanes), cfg.AUsPerAC)
+		// + 3 tree hops + bus combine steps
+		return waves*acs + 3 + (cfg.ACsPerThread - 1)
+	case KGather, KScatter:
+		return ceilDiv(in.RowLen, lanes) + 1
+	default:
+		return 1
+	}
+}
+
+// Expand computes the micro-instruction statistics for the program.
+func Expand(p *Program, cfg Config) MicroStats {
+	var ms MicroStats
+	for _, in := range p.PerTuple {
+		ms.PerTupleMicroOps += microOps(in, cfg)
+	}
+	for _, in := range p.RowUpdates {
+		ms.PerTupleMicroOps += microOps(in, cfg)
+	}
+	for _, in := range p.PostMerge {
+		ms.PostMergeMicroOps += microOps(in, cfg)
+	}
+	for _, in := range p.Convergence {
+		ms.ConvMicroOps += microOps(in, cfg)
+	}
+	return ms
+}
+
+// Listing renders the compiled program as text (for danactl and tests).
+func Listing(p *Program) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "slots=%d model=%v input=%v const=%v\n", p.Slots, p.ModelSlot, p.InputSlot, p.ConstSlot)
+	dump := func(name string, list []Instr) {
+		if len(list) == 0 {
+			return
+		}
+		fmt.Fprintf(&b, "%s:\n", name)
+		for i, in := range list {
+			fmt.Fprintf(&b, "  %3d: %s\n", i, in)
+		}
+	}
+	dump("per-tuple", p.PerTuple)
+	if p.HasMerge() {
+		fmt.Fprintf(&b, "merge: %s over %v -> %v\n", p.MergeOp, p.MergeSrc, p.MergeDst)
+	}
+	dump("post-merge", p.PostMerge)
+	dump("row-updates", p.RowUpdates)
+	dump("convergence", p.Convergence)
+	if p.UpdatedSlot.Len > 0 {
+		fmt.Fprintf(&b, "updated-model: %v\n", p.UpdatedSlot)
+	}
+	return b.String()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

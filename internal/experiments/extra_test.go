@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPageSizeSweepIsFlat(t *testing.T) {
+	rows, err := PageSizeSweep(DefaultEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// §7: "page size had no significant impact on the runtimes" — our
+	// model must agree to within 10%.
+	for _, r := range rows {
+		for _, v := range []float64{r.PG8K, r.PG16K, r.GP8K, r.GP16K} {
+			if math.Abs(v-1) > 0.10 {
+				t.Errorf("%s: page-size sensitivity %v exceeds 10%%", r.Name, v)
+			}
+		}
+	}
+}
+
+func TestBatchConvergenceMonotone(t *testing.T) {
+	env := DefaultEnv()
+	rows, err := BatchConvergence([]string{"Remote Sensing LR", "Patient"}, env, 0.002, 0.5, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		e1 := r.Epochs[1]
+		if e1 < 1 || e1 >= 200 {
+			t.Errorf("%s: batch-1 epochs = %d (did not converge?)", r.Name, e1)
+		}
+		// Batched-gradient training needs at least as many epochs as
+		// per-tuple IGD (supplementary tables: ratios 1x..56x).
+		for _, b := range BatchSizes[1:] {
+			if r.Epochs[b] < e1 {
+				t.Errorf("%s: batch %d converged in %d epochs, faster than batch 1 (%d)",
+					r.Name, b, r.Epochs[b], e1)
+			}
+		}
+	}
+}
+
+func TestAblationsOrdering(t *testing.T) {
+	rows, gm, err := Ablations(DefaultEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 14 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// The full design must dominate each ablation in geomean, and
+	// tuple-granularity DMA must be the worst transfer strategy.
+	if !(gm.Full >= gm.NoInterleave && gm.Full >= gm.TupleGranularity && gm.Full >= gm.NoStrider) {
+		t.Errorf("full design not dominant: %s", FormatAblation(gm))
+	}
+	if gm.TupleGranularity >= gm.NoInterleave {
+		t.Errorf("tuple-granularity DMA (%v) should lose to serialized page DMA (%v)",
+			gm.TupleGranularity, gm.NoInterleave)
+	}
+	for _, r := range rows {
+		if r.Full+1e-9 < r.NoInterleave {
+			t.Errorf("%s: interleaving hurt (%v < %v)", r.Name, r.Full, r.NoInterleave)
+		}
+	}
+}
+
+func TestScorecardAllPass(t *testing.T) {
+	rows, err := Scorecard(DefaultEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 10 {
+		t.Fatalf("scorecard has %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if !r.OK() {
+			t.Errorf("out of band: %s", r)
+		}
+	}
+}
+
+func TestSchedulerStudy(t *testing.T) {
+	rows, err := SchedulerStudy(DefaultEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 14 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Makespan > r.Serial || r.Makespan < r.CriticalPath {
+			t.Errorf("%s: serial %d makespan %d critpath %d", r.Name, r.Serial, r.Makespan, r.CriticalPath)
+		}
+		if r.ILP < 1 {
+			t.Errorf("%s: ILP %v < 1", r.Name, r.ILP)
+		}
+	}
+}
+
+func TestCustomDesignComparison(t *testing.T) {
+	rows, err := CustomDesignComparison(DefaultEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	var ratios []float64
+	for _, r := range rows {
+		if r.DAnAGOPS <= 0 || r.CustomGOPS <= r.DAnAGOPS {
+			t.Errorf("%s: GOPS dana=%v custom=%v", r.Design, r.DAnAGOPS, r.CustomGOPS)
+		}
+		ratios = append(ratios, r.SpeedRatio)
+	}
+	// §7.3: comparable performance overall — geomean near parity.
+	gm := Geomean(ratios)
+	if gm < 0.8 || gm > 1.3 {
+		t.Errorf("geomean speed ratio %v, want near parity", gm)
+	}
+	// The paper's VU9P runs DSP arrays at 150 MHz: GOPS must be in a
+	// physically plausible range (well under 1024 AUs x 150 MHz).
+	for _, r := range rows {
+		if r.DAnAGOPS > 1024*0.15 {
+			t.Errorf("%s: impossible GOPS %v", r.Design, r.DAnAGOPS)
+		}
+	}
+}

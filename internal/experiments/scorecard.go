@@ -1,0 +1,81 @@
+package experiments
+
+import "fmt"
+
+// ScoreRow is one headline metric of the reproduction scorecard: the
+// paper's reported value, our measured value, and the acceptance band
+// DESIGN.md/EXPERIMENTS.md commit to.
+type ScoreRow struct {
+	Metric   string
+	Paper    float64
+	Measured float64
+	Lo, Hi   float64
+}
+
+// OK reports whether the measurement lies in the band.
+func (r ScoreRow) OK() bool { return r.Measured >= r.Lo && r.Measured <= r.Hi }
+
+func (r ScoreRow) String() string {
+	status := "PASS"
+	if !r.OK() {
+		status = "FAIL"
+	}
+	return fmt.Sprintf("%-44s paper %8.2f  measured %8.2f  band [%6.2f, %6.2f]  %s",
+		r.Metric, r.Paper, r.Measured, r.Lo, r.Hi, status)
+}
+
+// Scorecard evaluates every headline number of the paper's abstract and
+// evaluation against the reproduction.
+func Scorecard(env Env) ([]ScoreRow, error) {
+	var rows []ScoreRow
+	add := func(metric string, paper, measured, lo, hi float64) {
+		rows = append(rows, ScoreRow{Metric: metric, Paper: paper, Measured: measured, Lo: lo, Hi: hi})
+	}
+
+	_, realWarm, err := ClassSpeedups("real", env, true)
+	if err != nil {
+		return nil, err
+	}
+	_, realCold, err := ClassSpeedups("real", env, false)
+	if err != nil {
+		return nil, err
+	}
+	_, snWarm, err := ClassSpeedups("S/N", env, true)
+	if err != nil {
+		return nil, err
+	}
+	_, seWarm, err := ClassSpeedups("S/E", env, true)
+	if err != nil {
+		return nil, err
+	}
+	// The abstract's headline claims.
+	add("abstract: DAnA vs PG, real datasets (8.3x)", 8.3, realWarm.DAnAvsPG, 5, 14)
+	add("abstract: DAnA vs Greenplum (4.0x)", 4.0, realWarm.DAnAvsGP, 2.5, 7)
+	add("fig8a: Greenplum vs PG (2.1x)", 2.1, realWarm.GPvsPG, 1.5, 2.8)
+	add("fig8b: DAnA vs PG cold (4.8x)", 4.8, realCold.DAnAvsPG, 3, 10)
+	add("fig9: DAnA vs PG, S/N warm (13.2x)", 13.2, snWarm.DAnAvsPG, 8, 25)
+	add("fig10: DAnA vs PG, S/E warm (12.9x)", 12.9, seWarm.DAnAvsPG, 8, 30)
+
+	_, strider, err := StriderBenefit(env)
+	if err != nil {
+		return nil, err
+	}
+	add("fig11: DAnA without Striders (2.3x)", 2.3, strider.WithoutStrider, 1.5, 4.5)
+	add("fig11: DAnA with Striders (10.8x)", 10.8, strider.WithStrider, 8, 20)
+	add("abstract: Strider amplification (4.6x)", 4.6, strider.WithStrider/strider.WithoutStrider, 3, 7)
+
+	_, seg, err := SegmentSweep(env)
+	if err != nil {
+		return nil, err
+	}
+	add("fig13: PG relative to 8 segments (0.54)", 0.54, seg.PG, 0.35, 0.7)
+	add("fig13: 16 segments relative to 8 (0.89)", 0.89, seg.Seg16, 0.6, 1.0)
+
+	_, tabla, err := TablaComparison(env)
+	if err != nil {
+		return nil, err
+	}
+	add("fig16: DAnA vs TABLA compute (4.7x)", 4.7, tabla.Speedup, 3, 6.5)
+
+	return rows, nil
+}

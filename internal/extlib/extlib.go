@@ -1,0 +1,198 @@
+// Package extlib re-implements the out-of-database baselines of §7.3:
+// Liblinear- and DimmWitted-style training. Using them from an RDBMS
+// means (1) exporting the table out of PostgreSQL, (2) transforming it
+// into the library's format, and (3) running the multicore solver —
+// the three phases whose breakdown Figure 15a reports. Each phase is
+// functional here: export really serializes the relation, transform
+// really reparses it, and compute really trains.
+package extlib
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"sync"
+
+	"dana/internal/bufpool"
+	"dana/internal/ml"
+	"dana/internal/storage"
+)
+
+// Library selects the emulated external tool.
+type Library int
+
+const (
+	Liblinear Library = iota
+	DimmWitted
+)
+
+func (l Library) String() string {
+	if l == Liblinear {
+		return "Liblinear"
+	}
+	return "DimmWitted"
+}
+
+// Supports reports whether the library implements the algorithm
+// (Liblinear has no linear regression, §7.3).
+func (l Library) Supports(algo ml.Algorithm) bool {
+	if l == Liblinear {
+		if _, isLinear := algo.(ml.Linear); isLinear {
+			return false
+		}
+		if _, isLRMF := algo.(ml.LRMF); isLRMF {
+			return false
+		}
+	} else if _, isLRMF := algo.(ml.LRMF); isLRMF {
+		return false
+	}
+	return true
+}
+
+// Stats records what each phase touched.
+type Stats struct {
+	ExportedBytes int64
+	Tuples        int64
+	Epochs        int
+	Threads       int
+	FinalLoss     float64
+	Pool          bufpool.Stats
+}
+
+// Runner drives the export -> transform -> compute pipeline.
+type Runner struct {
+	Lib     Library
+	Pool    *bufpool.Pool
+	Rel     *storage.Relation
+	Algo    ml.Algorithm
+	Threads int // multicore width (paper sweeps 2..16 and takes the best)
+}
+
+// New builds a runner.
+func New(lib Library, pool *bufpool.Pool, rel *storage.Relation, algo ml.Algorithm, threads int) (*Runner, error) {
+	if !lib.Supports(algo) {
+		return nil, fmt.Errorf("extlib: %v does not support %s", lib, algo.Name())
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	return &Runner{Lib: lib, Pool: pool, Rel: rel, Algo: algo, Threads: threads}, nil
+}
+
+// Export serializes the relation to a CSV byte stream (PostgreSQL
+// COPY TO), reading through the buffer pool.
+func (r *Runner) Export() ([]byte, error) {
+	var buf bytes.Buffer
+	var vals []float64
+	for pn := 0; pn < r.Rel.NumPages(); pn++ {
+		pg, err := r.Pool.Pin(r.Rel.Name, uint32(pn))
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < pg.NumItems(); i++ {
+			raw, err := pg.Item(i)
+			if err != nil {
+				r.Pool.Unpin(r.Rel.Name, uint32(pn))
+				return nil, err
+			}
+			vals = vals[:0]
+			vals, err = storage.DecodeTuple(r.Rel.Schema, vals, raw)
+			if err != nil {
+				r.Pool.Unpin(r.Rel.Name, uint32(pn))
+				return nil, err
+			}
+			for j, v := range vals {
+				if j > 0 {
+					buf.WriteByte(',')
+				}
+				buf.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+			}
+			buf.WriteByte('\n')
+		}
+		if err := r.Pool.Unpin(r.Rel.Name, uint32(pn)); err != nil {
+			return nil, err
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+// Transform parses the exported CSV into the library's in-memory dense
+// row format.
+func Transform(csv []byte, width int) ([][]float64, error) {
+	var rows [][]float64
+	for _, line := range bytes.Split(csv, []byte{'\n'}) {
+		if len(line) == 0 {
+			continue
+		}
+		fields := bytes.Split(line, []byte{','})
+		if len(fields) != width {
+			return nil, fmt.Errorf("extlib: row has %d fields, want %d", len(fields), width)
+		}
+		row := make([]float64, width)
+		for i, f := range fields {
+			v, err := strconv.ParseFloat(string(f), 64)
+			if err != nil {
+				return nil, fmt.Errorf("extlib: bad field %q: %w", f, err)
+			}
+			row[i] = v
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Train runs the full pipeline for the given epochs and returns the
+// model plus stats. Multicore compute shards tuples across threads and
+// averages models each epoch (both libraries' shared-nothing mode).
+func (r *Runner) Train(epochs int) ([]float64, Stats, error) {
+	if epochs < 1 {
+		epochs = 1
+	}
+	csv, err := r.Export()
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	rows, err := Transform(csv, r.Rel.Schema.NumCols())
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	st := Stats{
+		ExportedBytes: int64(len(csv)),
+		Tuples:        int64(len(rows)),
+		Threads:       r.Threads,
+	}
+	model := ml.InitModel(r.Algo, 1)
+	shards := make([][][]float64, r.Threads)
+	for i, row := range rows {
+		shards[i%r.Threads] = append(shards[i%r.Threads], row)
+	}
+	for e := 0; e < epochs; e++ {
+		locals := make([][]float64, r.Threads)
+		var wg sync.WaitGroup
+		for t := 0; t < r.Threads; t++ {
+			wg.Add(1)
+			go func(t int) {
+				defer wg.Done()
+				local := append([]float64(nil), model...)
+				for _, tup := range shards[t] {
+					r.Algo.Update(local, tup)
+				}
+				locals[t] = local
+			}(t)
+		}
+		wg.Wait()
+		var seen [][]float64
+		for t := range locals {
+			if len(shards[t]) > 0 {
+				seen = append(seen, locals[t])
+			}
+		}
+		if len(seen) > 0 {
+			model = ml.AverageModels(seen)
+		}
+		st.Epochs++
+	}
+	st.FinalLoss = ml.MeanLoss(r.Algo, model, rows)
+	st.Pool = r.Pool.Stats()
+	return model, st, nil
+}

@@ -1,0 +1,128 @@
+package extlib
+
+import (
+	"bytes"
+	"testing"
+
+	"dana/internal/bufpool"
+	"dana/internal/datagen"
+	"dana/internal/ml"
+	"dana/internal/storage"
+)
+
+func setup(t *testing.T, workload string, scale float64) (*bufpool.Pool, *datagen.Dataset) {
+	t.Helper()
+	w, err := datagen.ByName(workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := datagen.Generate(w, scale, storage.PageSize8K, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := bufpool.New(512, storage.PageSize8K, bufpool.DefaultDisk())
+	if err := pool.AttachRelation(d.Rel); err != nil {
+		t.Fatal(err)
+	}
+	return pool, d
+}
+
+func TestSupportsMatrix(t *testing.T) {
+	lin := ml.Linear{NFeatures: 2, LR: 0.1}
+	logi := ml.Logistic{NFeatures: 2, LR: 0.1}
+	svm := ml.SVM{NFeatures: 2, LR: 0.1, Lambda: 0.1}
+	lrmf := ml.LRMF{Users: 2, Items: 2, Rank: 2, LR: 0.1}
+	if Liblinear.Supports(lin) {
+		t.Error("Liblinear should not support linear regression")
+	}
+	if !Liblinear.Supports(logi) || !Liblinear.Supports(svm) {
+		t.Error("Liblinear should support logistic and SVM")
+	}
+	if !DimmWitted.Supports(lin) {
+		t.Error("DimmWitted should support linear regression")
+	}
+	if Liblinear.Supports(lrmf) || DimmWitted.Supports(lrmf) {
+		t.Error("neither library supports LRMF")
+	}
+}
+
+func TestExportTransformRoundTrip(t *testing.T) {
+	pool, d := setup(t, "WLAN", 0.005)
+	r, err := New(Liblinear, pool, d.Rel, d.MLAlgorithm(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv, err := r.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := bytes.Count(csv, []byte{'\n'}); lines != d.Tuples {
+		t.Fatalf("exported %d lines, want %d", lines, d.Tuples)
+	}
+	rows, err := Transform(csv, d.Rel.Schema.NumCols())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != d.Tuples {
+		t.Fatalf("transformed %d rows", len(rows))
+	}
+	// Spot check against the relation.
+	want, err := d.Rel.Get(storage.TID{Page: 0, Item: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if rows[0][i] != want[i] {
+			t.Fatalf("col %d: %v != %v", i, rows[0][i], want[i])
+		}
+	}
+}
+
+func TestTransformErrors(t *testing.T) {
+	if _, err := Transform([]byte("1,2\n"), 3); err == nil {
+		t.Error("wrong arity accepted")
+	}
+	if _, err := Transform([]byte("a,b\n"), 2); err == nil {
+		t.Error("bad number accepted")
+	}
+}
+
+func TestTrainPipelineLearns(t *testing.T) {
+	pool, d := setup(t, "Blog Feedback", 0.02)
+	r, err := New(DimmWitted, pool, d.Rel, d.MLAlgorithm(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, st, err := r.Train(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ExportedBytes <= 0 || st.Tuples != int64(d.Tuples) || st.Threads != 4 {
+		t.Errorf("stats = %+v", st)
+	}
+	zero := make([]float64, len(model))
+	var tuples [][]float64
+	if err := d.Rel.Scan(func(_ storage.TID, vals []float64) error {
+		tuples = append(tuples, append([]float64(nil), vals...))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	alg := d.MLAlgorithm()
+	if st.FinalLoss > ml.MeanLoss(alg, zero, tuples)/3 {
+		t.Errorf("loss %v vs untrained %v", st.FinalLoss, ml.MeanLoss(alg, zero, tuples))
+	}
+}
+
+func TestUnsupportedAlgoRejected(t *testing.T) {
+	pool, d := setup(t, "Patient", 0.01) // linear
+	if _, err := New(Liblinear, pool, d.Rel, d.MLAlgorithm(), 2); err == nil {
+		t.Error("Liblinear+linear accepted")
+	}
+}
+
+func TestLibraryString(t *testing.T) {
+	if Liblinear.String() != "Liblinear" || DimmWitted.String() != "DimmWitted" {
+		t.Error("names wrong")
+	}
+}

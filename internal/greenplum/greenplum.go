@@ -1,0 +1,136 @@
+// Package greenplum re-implements the paper's parallel baseline:
+// MADlib running on an N-segment Greenplum. The training table is
+// hash-partitioned across segments; each epoch every segment runs IGD
+// over its shard in parallel from the shared model, and the coordinator
+// merges the per-segment models by averaging (MADlib's distributed IGD
+// semantics).
+package greenplum
+
+import (
+	"fmt"
+	"sync"
+
+	"dana/internal/bufpool"
+	"dana/internal/ml"
+	"dana/internal/storage"
+)
+
+// Stats summarizes a segmented training run.
+type Stats struct {
+	Segments  int
+	Epochs    int
+	Tuples    int64
+	FinalLoss float64
+	Pool      bufpool.Stats
+}
+
+// Cluster is a set of segments over one logical table.
+type Cluster struct {
+	Segments int
+	Pool     *bufpool.Pool
+	Rel      *storage.Relation
+	Algo     ml.Algorithm
+
+	shards [][][]float64 // per-segment tuple slices (materialized once)
+}
+
+// New builds a cluster; segments must be >= 1.
+func New(pool *bufpool.Pool, rel *storage.Relation, algo ml.Algorithm, segments int) (*Cluster, error) {
+	if segments < 1 {
+		return nil, fmt.Errorf("greenplum: need >= 1 segment, got %d", segments)
+	}
+	if got, want := rel.Schema.NumCols(), algo.TupleWidth(); got != want {
+		return nil, fmt.Errorf("greenplum: relation %q has %d columns, %s needs %d", rel.Name, got, algo.Name(), want)
+	}
+	return &Cluster{Segments: segments, Pool: pool, Rel: rel, Algo: algo}, nil
+}
+
+// distribute hash-partitions the table across the segments, reading it
+// through the buffer pool (this is Greenplum's data loading).
+func (c *Cluster) distribute() error {
+	if c.shards != nil {
+		return nil
+	}
+	c.shards = make([][][]float64, c.Segments)
+	var vals []float64
+	i := 0
+	for pn := 0; pn < c.Rel.NumPages(); pn++ {
+		pg, err := c.Pool.Pin(c.Rel.Name, uint32(pn))
+		if err != nil {
+			return err
+		}
+		for it := 0; it < pg.NumItems(); it++ {
+			raw, err := pg.Item(it)
+			if err != nil {
+				c.Pool.Unpin(c.Rel.Name, uint32(pn))
+				return err
+			}
+			vals = vals[:0]
+			vals, err = storage.DecodeTuple(c.Rel.Schema, vals, raw)
+			if err != nil {
+				c.Pool.Unpin(c.Rel.Name, uint32(pn))
+				return err
+			}
+			seg := i % c.Segments
+			c.shards[seg] = append(c.shards[seg], append([]float64(nil), vals...))
+			i++
+		}
+		if err := c.Pool.Unpin(c.Rel.Name, uint32(pn)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Train runs distributed IGD with per-epoch model averaging.
+func (c *Cluster) Train(epochs int) ([]float64, Stats, error) {
+	if epochs < 1 {
+		epochs = 1
+	}
+	if err := c.distribute(); err != nil {
+		return nil, Stats{}, err
+	}
+	model := ml.InitModel(c.Algo, 1)
+	st := Stats{Segments: c.Segments}
+	for e := 0; e < epochs; e++ {
+		locals := make([][]float64, c.Segments)
+		var wg sync.WaitGroup
+		for s := 0; s < c.Segments; s++ {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				local := append([]float64(nil), model...)
+				for _, tup := range c.shards[s] {
+					c.Algo.Update(local, tup)
+				}
+				locals[s] = local
+			}(s)
+		}
+		wg.Wait()
+		// Coordinator merge: average only segments that saw data.
+		var seen [][]float64
+		for s := 0; s < c.Segments; s++ {
+			if len(c.shards[s]) > 0 {
+				seen = append(seen, locals[s])
+				st.Tuples += int64(len(c.shards[s]))
+			}
+		}
+		if len(seen) > 0 {
+			model = ml.AverageModels(seen)
+		}
+		st.Epochs++
+	}
+	var sum float64
+	var n int64
+	for s := range c.shards {
+		for _, tup := range c.shards[s] {
+			sum += c.Algo.Loss(model, tup)
+			n++
+		}
+	}
+	if n > 0 {
+		st.FinalLoss = sum / float64(n)
+	}
+	st.Pool = c.Pool.Stats()
+	return model, st, nil
+}

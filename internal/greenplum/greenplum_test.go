@@ -1,0 +1,110 @@
+package greenplum
+
+import (
+	"testing"
+
+	"dana/internal/bufpool"
+	"dana/internal/datagen"
+	"dana/internal/madlib"
+	"dana/internal/ml"
+	"dana/internal/storage"
+)
+
+func setup(t *testing.T, workload string, scale float64) (*bufpool.Pool, *datagen.Dataset) {
+	t.Helper()
+	w, err := datagen.ByName(workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := datagen.Generate(w, scale, storage.PageSize8K, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := bufpool.New(512, storage.PageSize8K, bufpool.DefaultDisk())
+	if err := pool.AttachRelation(d.Rel); err != nil {
+		t.Fatal(err)
+	}
+	return pool, d
+}
+
+func TestSegmentedTrainingConverges(t *testing.T) {
+	pool, d := setup(t, "Patient", 0.02)
+	c, err := New(pool, d.Rel, d.MLAlgorithm(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st, err := c.Train(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Segments != 8 || st.Epochs != 10 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.Tuples != int64(10*d.Tuples) {
+		t.Errorf("tuples = %d", st.Tuples)
+	}
+	// Model averaging should still learn: compare against zero model.
+	tr, err := madlib.New(pool, d.Rel, d.MLAlgorithm())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, single, err := tr.Train(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Model averaging converges more slowly than pure IGD, but must
+	// still land well below the untrained baseline loss (~0.5 for this
+	// workload) while staying within two orders of magnitude of IGD.
+	if st.FinalLoss > 0.1 {
+		t.Errorf("segmented training failed to learn: loss %v", st.FinalLoss)
+	}
+	if st.FinalLoss > 100*single.FinalLoss+1e-6 {
+		t.Errorf("segmented loss %v vs IGD loss %v", st.FinalLoss, single.FinalLoss)
+	}
+}
+
+func TestSingleSegmentMatchesMADlib(t *testing.T) {
+	pool, d := setup(t, "Blog Feedback", 0.02)
+	c, err := New(pool, d.Rel, d.MLAlgorithm(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gm, _, err := c.Train(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := madlib.New(pool, d.Rel, d.MLAlgorithm())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm, _, err := tr.Train(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range gm {
+		if gm[i] != mm[i] {
+			t.Fatalf("model[%d]: %v vs %v", i, gm[i], mm[i])
+		}
+	}
+}
+
+func TestSegmentsValidated(t *testing.T) {
+	pool, d := setup(t, "WLAN", 0.01)
+	if _, err := New(pool, d.Rel, d.MLAlgorithm(), 0); err == nil {
+		t.Error("0 segments accepted")
+	}
+	if _, err := New(pool, d.Rel, ml.Linear{NFeatures: 1, LR: 0.1}, 4); err == nil {
+		t.Error("schema mismatch accepted")
+	}
+}
+
+func TestMoreSegmentsThanTuples(t *testing.T) {
+	pool, d := setup(t, "WLAN", 0.001) // tiny: 64 tuples min
+	c, err := New(pool, d.Rel, d.MLAlgorithm(), 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Train(1); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,501 @@
+// Package hdfg implements DAnA's translator (paper §4.4): it converts a
+// DSL Algo into a hierarchical DataFlow Graph with inferred shapes, a
+// merge boundary, and per-epoch (convergence) staging. It also provides
+// a float64 reference interpreter used as the golden model for the
+// accelerator simulator.
+package hdfg
+
+import (
+	"fmt"
+
+	"dana/internal/dsl"
+)
+
+// Shape is the dimensionality of an edge: nil/empty = scalar, [n] =
+// vector, [n,m] = matrix. A third dimension appears only for the
+// contraction intermediate of matrix×matrix group operations (paper's
+// sigma(mo*in, 2) example producing a [5][2] result from [5][10] and
+// [2][10] operands).
+type Shape []int
+
+// Size returns the number of scalar elements.
+func (s Shape) Size() int {
+	n := 1
+	for _, d := range s {
+		n *= d
+	}
+	return n
+}
+
+// NDim returns the number of dimensions (0 for scalar).
+func (s Shape) NDim() int { return len(s) }
+
+// Equal reports shape equality.
+func (s Shape) Equal(o Shape) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for i := range s {
+		if s[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (s Shape) String() string {
+	if len(s) == 0 {
+		return "scalar"
+	}
+	return fmt.Sprint([]int(s))
+}
+
+// Node is one multi-dimensional operation of the hDFG. Each node
+// decomposes into Shape.Size() atomic sub-nodes for scheduling.
+type Node struct {
+	ID    int
+	Op    dsl.Op
+	Kind  dsl.Kind // for OpLeaf nodes
+	Name  string
+	Shape Shape
+	Args  []*Node
+
+	Axis      int     // group ops
+	MetaValue float64 // meta leaves
+	MergeOp   dsl.Op  // merge node
+	MergeCoef int     // merge node
+
+	// PostMerge marks nodes that execute once per merge batch (after
+	// the merge boundary) rather than once per training tuple.
+	PostMerge bool
+	// ConvOnly marks nodes needed only for the convergence check, which
+	// runs once per epoch.
+	ConvOnly bool
+}
+
+func (n *Node) String() string {
+	return fmt.Sprintf("%s#%d%s", n.Op, n.ID, n.Shape)
+}
+
+// IsLeaf reports whether the node is a data declaration.
+func (n *Node) IsLeaf() bool { return n.Op == dsl.OpLeaf }
+
+// RowUpdate is a sparse model update root.
+type RowUpdate struct {
+	Idx *Node
+	Val *Node
+}
+
+// Graph is the translated hDFG.
+type Graph struct {
+	Algo  *dsl.Algo
+	Nodes []*Node // topological order
+
+	Model       *Node
+	Inputs      []*Node
+	Outputs     []*Node
+	Updated     *Node // dense model update root (may be nil)
+	RowUpdates  []RowUpdate
+	Convergence *Node // may be nil
+	Merge       *Node // may be nil
+	Epochs      int
+	MergeCoef   int
+}
+
+// TupleWidth returns the number of scalar values one training tuple
+// supplies: all inputs then all outputs, in declaration order.
+func (g *Graph) TupleWidth() int {
+	w := 0
+	for _, in := range g.Inputs {
+		w += in.Shape.Size()
+	}
+	for _, out := range g.Outputs {
+		w += out.Shape.Size()
+	}
+	return w
+}
+
+// ModelSize returns the number of scalar model parameters.
+func (g *Graph) ModelSize() int { return g.Model.Shape.Size() }
+
+// Translate converts a validated Algo into an hDFG.
+func Translate(a *dsl.Algo) (*Graph, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	g := &Graph{Algo: a, Epochs: a.Epochs, MergeCoef: a.MergeCoef()}
+
+	// 1. Clone expressions into nodes.
+	byExpr := make(map[*dsl.Expr]*Node, len(a.Exprs))
+	for _, e := range a.Exprs {
+		n := &Node{
+			Op: e.Op, Kind: e.Kind, Name: e.Name,
+			Axis: e.Axis, MetaValue: e.MetaValue,
+			MergeOp: e.MergeOp, MergeCoef: e.MergeCoef,
+		}
+		if e.Op == dsl.OpLeaf {
+			n.Shape = Shape(e.Dims)
+		}
+		byExpr[e] = n
+	}
+	for _, e := range a.Exprs {
+		n := byExpr[e]
+		for _, arg := range e.Args {
+			n.Args = append(n.Args, byExpr[arg])
+		}
+	}
+	g.Model = byExpr[a.ModelVar]
+	for _, in := range a.Inputs {
+		g.Inputs = append(g.Inputs, byExpr[in])
+	}
+	for _, out := range a.Outputs {
+		g.Outputs = append(g.Outputs, byExpr[out])
+	}
+	if a.Updated != nil {
+		g.Updated = byExpr[a.Updated]
+	}
+	for _, ru := range a.RowUpdates {
+		g.RowUpdates = append(g.RowUpdates, RowUpdate{Idx: byExpr[ru.Idx], Val: byExpr[ru.Val]})
+	}
+	if a.Convergence != nil {
+		g.Convergence = byExpr[a.Convergence]
+	}
+	if a.MergeNode != nil {
+		g.Merge = byExpr[a.MergeNode]
+	}
+
+	// 2. Merge rewiring (paper §4.3: "DAnA's compiler implicitly
+	// understands that the merge function is performed before the
+	// gradient descent optimizer"): every consumer of the merged
+	// variable other than the merge node itself now consumes the merge
+	// node, so the pre-merge computation replicates per thread and the
+	// post-merge computation runs once per batch.
+	if g.Merge != nil {
+		x := g.Merge.Args[0]
+		for _, n := range byExpr {
+			if n == g.Merge {
+				continue
+			}
+			for i, arg := range n.Args {
+				if arg == x {
+					n.Args[i] = g.Merge
+				}
+			}
+		}
+		if g.Updated == x {
+			g.Updated = g.Merge
+		}
+		if g.Convergence == x {
+			g.Convergence = g.Merge
+		}
+		for i := range g.RowUpdates {
+			if g.RowUpdates[i].Val == x {
+				g.RowUpdates[i].Val = g.Merge
+			}
+		}
+	}
+
+	// 3. Collect live nodes (reachable from the roots) plus all leaves,
+	// in topological order.
+	roots := g.roots()
+	var keep []*Node // leaves in declaration order, for determinism
+	for _, e := range a.Exprs {
+		if n := byExpr[e]; n.IsLeaf() {
+			keep = append(keep, n)
+		}
+	}
+	order, err := toposort(roots, keep)
+	if err != nil {
+		return nil, err
+	}
+	g.Nodes = order
+	for i, n := range g.Nodes {
+		n.ID = i
+	}
+
+	// 4. Shape inference.
+	for _, n := range g.Nodes {
+		if err := inferShape(g, n); err != nil {
+			return nil, err
+		}
+	}
+	if g.Updated != nil && !g.Updated.Shape.Equal(g.Model.Shape) {
+		return nil, fmt.Errorf("hdfg: setModel shape %v differs from model shape %v", g.Updated.Shape, g.Model.Shape)
+	}
+	for _, ru := range g.RowUpdates {
+		if ru.Idx.Shape.NDim() != 0 {
+			return nil, fmt.Errorf("hdfg: setModelRow index must be scalar, got %v", ru.Idx.Shape)
+		}
+		if g.Model.Shape.NDim() != 2 {
+			return nil, fmt.Errorf("hdfg: setModelRow requires a 2-D model, got %v", g.Model.Shape)
+		}
+		want := Shape{g.Model.Shape[1]}
+		if !ru.Val.Shape.Equal(want) {
+			return nil, fmt.Errorf("hdfg: setModelRow value shape %v, want %v", ru.Val.Shape, want)
+		}
+	}
+	if g.Convergence != nil && g.Convergence.Shape.NDim() != 0 {
+		return nil, fmt.Errorf("hdfg: convergence expression must be scalar, got %v", g.Convergence.Shape)
+	}
+
+	// 5. Stage marking.
+	for _, n := range g.Nodes {
+		if n == g.Merge {
+			n.PostMerge = true
+			continue
+		}
+		for _, arg := range n.Args {
+			if arg.PostMerge {
+				n.PostMerge = true
+				break
+			}
+		}
+	}
+	markConvOnly(g)
+	return g, nil
+}
+
+func (g *Graph) roots() []*Node {
+	var roots []*Node
+	if g.Updated != nil {
+		roots = append(roots, g.Updated)
+	}
+	for _, ru := range g.RowUpdates {
+		roots = append(roots, ru.Idx, ru.Val)
+	}
+	if g.Convergence != nil {
+		roots = append(roots, g.Convergence)
+	}
+	return roots
+}
+
+// toposort returns a deterministic topological order of all nodes
+// reachable from roots, plus the given leaves (data declarations are
+// kept even when dead so inputs stay bound).
+func toposort(roots, keep []*Node) ([]*Node, error) {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[*Node]int)
+	var order []*Node
+	var visit func(n *Node) error
+	visit = func(n *Node) error {
+		switch color[n] {
+		case gray:
+			return fmt.Errorf("hdfg: cycle through %v", n)
+		case black:
+			return nil
+		}
+		color[n] = gray
+		for _, arg := range n.Args {
+			if err := visit(arg); err != nil {
+				return err
+			}
+		}
+		color[n] = black
+		order = append(order, n)
+		return nil
+	}
+	for _, n := range keep {
+		if err := visit(n); err != nil {
+			return nil, err
+		}
+	}
+	for _, r := range roots {
+		if err := visit(r); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+func inferShape(g *Graph, n *Node) error {
+	switch {
+	case n.IsLeaf():
+		if n.Kind == dsl.KMeta {
+			n.Shape = nil
+		}
+		// declared dims already set
+		return nil
+	case n.Op == dsl.OpMerge:
+		n.Shape = n.Args[0].Shape
+		return nil
+	case n.Op.IsNonLinear():
+		n.Shape = n.Args[0].Shape
+		return nil
+	case n.Op == dsl.OpGather:
+		mo, idx := n.Args[0], n.Args[1]
+		if mo != g.Model || mo.Shape.NDim() != 2 {
+			return fmt.Errorf("hdfg: gather requires the 2-D model as first operand, got %v", mo)
+		}
+		if idx.Shape.NDim() != 0 {
+			return fmt.Errorf("hdfg: gather index must be scalar, got %v", idx.Shape)
+		}
+		n.Shape = Shape{mo.Shape[1]}
+		return nil
+	case n.Op.IsBinary():
+		s, err := broadcast(n.Args[0].Shape, n.Args[1].Shape)
+		if err != nil {
+			return fmt.Errorf("hdfg: %v: %w", n, err)
+		}
+		n.Shape = s
+		return nil
+	case n.Op.IsGroup():
+		arg := n.Args[0].Shape
+		switch arg.NDim() {
+		case 0:
+			return fmt.Errorf("hdfg: %s of a scalar", n.Op)
+		case 1:
+			if n.Axis != 1 {
+				return fmt.Errorf("hdfg: %s axis %d on a vector", n.Op, n.Axis)
+			}
+			n.Shape = nil
+		case 2:
+			if n.Axis < 1 || n.Axis > 2 {
+				return fmt.Errorf("hdfg: %s axis %d on a matrix", n.Op, n.Axis)
+			}
+			if n.Axis == 1 {
+				n.Shape = Shape{arg[1]}
+			} else {
+				n.Shape = Shape{arg[0]}
+			}
+		case 3:
+			// Contraction intermediate [a,b,k]: the axis names the
+			// operands' shared (second) axis.
+			if n.Axis != 2 {
+				return fmt.Errorf("hdfg: %s axis %d on contraction intermediate %v (must be 2)", n.Op, n.Axis, arg)
+			}
+			n.Shape = Shape{arg[0], arg[1]}
+		default:
+			return fmt.Errorf("hdfg: unsupported rank %d", arg.NDim())
+		}
+		return nil
+	default:
+		return fmt.Errorf("hdfg: unknown op %v", n.Op)
+	}
+}
+
+// broadcast implements the paper's dimension-inference rule: equal
+// shapes combine elementwise; a lower-dimensional operand is logically
+// replicated; two matrices sharing their trailing axis form the 3-D
+// contraction intermediate.
+func broadcast(a, b Shape) (Shape, error) {
+	switch {
+	case a.Equal(b):
+		return a, nil
+	case a.NDim() == 0:
+		return b, nil
+	case b.NDim() == 0:
+		return a, nil
+	case isSuffix(a, b):
+		return b, nil
+	case isSuffix(b, a):
+		return a, nil
+	case a.NDim() == 2 && b.NDim() == 2 && a[1] == b[1]:
+		return Shape{a[0], b[0], a[1]}, nil
+	default:
+		return nil, fmt.Errorf("incompatible shapes %v and %v", a, b)
+	}
+}
+
+func isSuffix(small, big Shape) bool {
+	if small.NDim() == 0 || small.NDim() >= big.NDim() {
+		return false
+	}
+	off := big.NDim() - small.NDim()
+	for i := range small {
+		if small[i] != big[off+i] {
+			return false
+		}
+	}
+	return true
+}
+
+// markConvOnly flags nodes reachable from the convergence root but not
+// from any model-update root.
+func markConvOnly(g *Graph) {
+	if g.Convergence == nil {
+		return
+	}
+	fromUpdate := make(map[*Node]bool)
+	var mark func(n *Node, set map[*Node]bool)
+	mark = func(n *Node, set map[*Node]bool) {
+		if set[n] {
+			return
+		}
+		set[n] = true
+		for _, a := range n.Args {
+			mark(a, set)
+		}
+	}
+	if g.Updated != nil {
+		mark(g.Updated, fromUpdate)
+	}
+	for _, ru := range g.RowUpdates {
+		mark(ru.Idx, fromUpdate)
+		mark(ru.Val, fromUpdate)
+	}
+	fromConv := make(map[*Node]bool)
+	mark(g.Convergence, fromConv)
+	for _, n := range g.Nodes {
+		if fromConv[n] && !fromUpdate[n] && !n.IsLeaf() {
+			n.ConvOnly = true
+		}
+	}
+}
+
+// SubNodeCount returns the number of atomic scalar operations node n
+// decomposes into (paper §4.4: nodes decompose into atomic sub-nodes).
+func SubNodeCount(n *Node) int {
+	switch {
+	case n.IsLeaf():
+		return 0
+	case n.Op == dsl.OpGather:
+		return n.Shape.Size() // one move per gathered element
+	case n.Op.IsGroup():
+		// A reduction of k values to 1 takes k-1 combining steps (plus
+		// a sqrt for norm, counted as one more).
+		in := n.Args[0].Shape.Size()
+		out := n.Shape.Size()
+		c := in - out
+		if n.Op == dsl.OpNorm {
+			c += out // final square roots
+		}
+		if c < 1 {
+			c = 1
+		}
+		return c
+	case n.Op == dsl.OpMerge:
+		return n.Shape.Size() // one combine per element per thread pair
+	default:
+		return n.Shape.Size()
+	}
+}
+
+// Work summarizes the scalar-operation counts of the graph, split at
+// the merge boundary. These counts drive both the compiler's resource
+// allocation and the analytic cost model.
+type Work struct {
+	PerTuple  int // sub-nodes executed for every training tuple
+	PostMerge int // sub-nodes executed once per merge batch
+	PerEpoch  int // convergence-only sub-nodes, once per epoch
+}
+
+// CountWork tallies sub-node counts by stage.
+func (g *Graph) CountWork() Work {
+	var w Work
+	for _, n := range g.Nodes {
+		c := SubNodeCount(n)
+		switch {
+		case n.ConvOnly:
+			w.PerEpoch += c
+		case n.PostMerge:
+			w.PostMerge += c
+		default:
+			w.PerTuple += c
+		}
+	}
+	return w
+}

@@ -1,0 +1,100 @@
+// Package madlib re-implements the baseline the paper compares against:
+// Apache-MADlib-style in-database machine learning. Training runs as a
+// user-defined aggregate over a sequential heap scan — one incremental
+// gradient (IGD) update per tuple, one pass per epoch, exactly the
+// Bismarck architecture MADlib uses — pulling pages through the same
+// buffer pool DAnA's Striders read.
+package madlib
+
+import (
+	"fmt"
+
+	"dana/internal/bufpool"
+	"dana/internal/ml"
+	"dana/internal/storage"
+)
+
+// Stats summarizes one training run.
+type Stats struct {
+	Epochs    int
+	Tuples    int64 // tuple updates performed
+	Pool      bufpool.Stats
+	FinalLoss float64
+}
+
+// Trainer runs IGD over a relation through a buffer pool.
+type Trainer struct {
+	Pool *bufpool.Pool
+	Rel  *storage.Relation
+	Algo ml.Algorithm
+}
+
+// New builds a trainer; the relation must be attached to the pool.
+func New(pool *bufpool.Pool, rel *storage.Relation, algo ml.Algorithm) (*Trainer, error) {
+	if got, want := rel.Schema.NumCols(), algo.TupleWidth(); got != want {
+		return nil, fmt.Errorf("madlib: relation %q has %d columns, %s needs %d", rel.Name, got, algo.Name(), want)
+	}
+	return &Trainer{Pool: pool, Rel: rel, Algo: algo}, nil
+}
+
+// scanEpoch performs one sequential scan applying fn per tuple.
+func (t *Trainer) scanEpoch(fn func(vals []float64)) error {
+	var vals []float64
+	for pn := 0; pn < t.Rel.NumPages(); pn++ {
+		pg, err := t.Pool.Pin(t.Rel.Name, uint32(pn))
+		if err != nil {
+			return err
+		}
+		for i := 0; i < pg.NumItems(); i++ {
+			raw, err := pg.Item(i)
+			if err != nil {
+				t.Pool.Unpin(t.Rel.Name, uint32(pn))
+				return err
+			}
+			vals = vals[:0]
+			vals, err = storage.DecodeTuple(t.Rel.Schema, vals, raw)
+			if err != nil {
+				t.Pool.Unpin(t.Rel.Name, uint32(pn))
+				return err
+			}
+			fn(vals)
+		}
+		if err := t.Pool.Unpin(t.Rel.Name, uint32(pn)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Train runs the given number of epochs and returns the model and stats.
+func (t *Trainer) Train(epochs int) ([]float64, Stats, error) {
+	if epochs < 1 {
+		epochs = 1
+	}
+	model := ml.InitModel(t.Algo, 1)
+	var st Stats
+	for e := 0; e < epochs; e++ {
+		err := t.scanEpoch(func(vals []float64) {
+			t.Algo.Update(model, vals)
+			st.Tuples++
+		})
+		if err != nil {
+			return nil, st, err
+		}
+		st.Epochs++
+	}
+	// Final loss over one more read-only pass.
+	var sum float64
+	var n int64
+	if err := t.scanEpoch(func(vals []float64) {
+		sum += t.Algo.Loss(model, vals)
+		n++
+	}); err != nil {
+		return nil, st, err
+	}
+	if n > 0 {
+		st.FinalLoss = sum / float64(n)
+	}
+	st.Pool = t.Pool.Stats()
+	return model, st, nil
+}

@@ -1,0 +1,98 @@
+package madlib
+
+import (
+	"testing"
+
+	"dana/internal/bufpool"
+	"dana/internal/datagen"
+	"dana/internal/ml"
+	"dana/internal/storage"
+)
+
+func setup(t *testing.T, workload string, scale float64) (*bufpool.Pool, *datagen.Dataset) {
+	t.Helper()
+	w, err := datagen.ByName(workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := datagen.Generate(w, scale, storage.PageSize8K, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := bufpool.New(512, storage.PageSize8K, bufpool.DefaultDisk())
+	if err := pool.AttachRelation(d.Rel); err != nil {
+		t.Fatal(err)
+	}
+	return pool, d
+}
+
+func TestTrainReducesLoss(t *testing.T) {
+	pool, d := setup(t, "Patient", 0.02)
+	tr, err := New(pool, d.Rel, d.MLAlgorithm())
+	if err != nil {
+		t.Fatal(err)
+	}
+	model0 := ml.InitModel(d.MLAlgorithm(), 1)
+	_, st1, err := tr.Train(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2, _ := New(pool, d.Rel, d.MLAlgorithm())
+	_, st10, err := tr2.Train(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st10.FinalLoss >= st1.FinalLoss {
+		t.Errorf("more epochs did not reduce loss: %v -> %v", st1.FinalLoss, st10.FinalLoss)
+	}
+	_ = model0
+	if st10.Tuples != int64(10*d.Tuples) {
+		t.Errorf("tuples = %d, want %d", st10.Tuples, 10*d.Tuples)
+	}
+	if st10.Epochs != 10 {
+		t.Errorf("epochs = %d", st10.Epochs)
+	}
+	if pool.PinnedCount() != 0 {
+		t.Error("trainer leaked pins")
+	}
+}
+
+func TestTrainChargesIO(t *testing.T) {
+	pool, d := setup(t, "WLAN", 0.05)
+	tr, err := New(pool, d.Rel, d.MLAlgorithm())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st, err := tr.Train(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Pool.Misses == 0 || st.Pool.IOSeconds <= 0 {
+		t.Errorf("cold run recorded no I/O: %+v", st.Pool)
+	}
+}
+
+func TestSchemaMismatchRejected(t *testing.T) {
+	pool, d := setup(t, "WLAN", 0.01)
+	if _, err := New(pool, d.Rel, ml.Linear{NFeatures: 3, LR: 0.1}); err == nil {
+		t.Error("mismatched algorithm accepted")
+	}
+}
+
+func TestLRMFTraining(t *testing.T) {
+	pool, d := setup(t, "Netflix", 0.0005)
+	tr, err := New(pool, d.Rel, d.MLAlgorithm())
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, st, err := tr.Train(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(model) != d.MLAlgorithm().ModelSize() {
+		t.Errorf("model size = %d", len(model))
+	}
+	if st.FinalLoss <= 0 {
+		t.Errorf("final loss = %v", st.FinalLoss)
+	}
+}

@@ -1,0 +1,337 @@
+// Package runtime is DAnA's integration layer (paper Figure 2): it
+// wires the SQL front end, catalog, and buffer pool to the translator,
+// compiler, hardware generator, access engine, and execution engine,
+// and executes `SELECT * FROM dana.<udf>('table')` end to end — pages
+// stream from the buffer pool through Striders into the multi-threaded
+// engine, producing a trained model and cycle-accurate statistics.
+package runtime
+
+import (
+	"fmt"
+
+	"dana/internal/accessengine"
+	"dana/internal/bufpool"
+	"dana/internal/catalog"
+	"dana/internal/compiler"
+	"dana/internal/cost"
+	"dana/internal/datagen"
+	"dana/internal/dsl"
+	"dana/internal/engine"
+	"dana/internal/hwgen"
+	"dana/internal/ml"
+	"dana/internal/sql"
+	"dana/internal/storage"
+	"dana/internal/strider"
+)
+
+// Options configure a System.
+type Options struct {
+	PageSize  int
+	PoolBytes int64
+	Disk      bufpool.DiskModel
+	FPGA      hwgen.FPGA
+	Cost      cost.Params
+	// MaxEpochs caps functional training regardless of the UDF's epoch
+	// budget (0 = use the UDF's).
+	MaxEpochs int
+}
+
+// DefaultOptions mirrors the paper's default setup: 32 KB pages, 8 GB
+// buffer pool, VU9P FPGA. The pool is capped at 256 MB of frames for
+// in-process runs; the cost model still uses the full 8 GB figure.
+func DefaultOptions() Options {
+	p := cost.Default()
+	return Options{
+		PageSize:  storage.PageSize32K,
+		PoolBytes: 256 << 20,
+		Disk:      bufpool.DefaultDisk(),
+		FPGA:      hwgen.VU9P(),
+		Cost:      p,
+	}
+}
+
+// System is a DAnA-enhanced database instance.
+type System struct {
+	Opts Options
+	DB   *sql.DB
+}
+
+// New creates the system and installs it as the SQL executor's UDF
+// runner.
+func New(opts Options) *System {
+	if opts.PageSize == 0 {
+		opts = DefaultOptions()
+	}
+	s := &System{
+		Opts: opts,
+		DB:   sql.NewDB(opts.PageSize, opts.PoolBytes, opts.Disk),
+	}
+	s.DB.Runner = s
+	return s
+}
+
+// Catalog returns the system catalog.
+func (s *System) Catalog() *catalog.Catalog { return s.DB.Cat }
+
+// Pool returns the buffer pool.
+func (s *System) Pool() *bufpool.Pool { return s.DB.Pool }
+
+// WarmTable pre-loads a table into the buffer pool (the paper's
+// warm-cache setting) and resets the pool counters.
+func (s *System) WarmTable(table string) error {
+	if _, err := s.DB.Cat.Table(table); err != nil {
+		return err
+	}
+	return s.DB.Pool.Warm(table)
+}
+
+// DropCaches empties the buffer pool (the cold-cache setting).
+func (s *System) DropCaches() error { return s.DB.Pool.Invalidate() }
+
+// Deploy attaches a generated dataset's relation to the catalog and
+// buffer pool.
+func (s *System) Deploy(d *datagen.Dataset) error {
+	if err := s.DB.Cat.AttachTable(d.Rel); err != nil {
+		return err
+	}
+	return s.DB.Pool.AttachRelation(d.Rel)
+}
+
+// Register translates the UDF, compiles it, runs hardware generation
+// for the system FPGA, generates the Strider program, and stores the
+// accelerator in the catalog. numTuples scores design points.
+func (s *System) Register(a *dsl.Algo, mergeCoef, numTuples int) (*catalog.Accelerator, error) {
+	udf, err := s.DB.Cat.RegisterUDF(a)
+	if err != nil {
+		return nil, err
+	}
+	return s.buildAccelerator(udf, mergeCoef, numTuples)
+}
+
+func (s *System) buildAccelerator(udf *catalog.UDF, mergeCoef, numTuples int) (*catalog.Accelerator, error) {
+	if mergeCoef < 1 {
+		mergeCoef = udf.Graph.MergeCoef
+	}
+	prog, err := compiler.Compile(udf.Graph)
+	if err != nil {
+		return nil, err
+	}
+	design, err := hwgen.Generate(prog, s.Opts.FPGA, hwgen.Params{
+		PageSize:  s.Opts.PageSize,
+		MergeCoef: mergeCoef,
+		NumTuples: numTuples,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sprog, scfg, err := strider.Generate(strider.PostgresLayout(s.Opts.PageSize))
+	if err != nil {
+		return nil, err
+	}
+	sched := compiler.ScheduleProgram(prog, design.Engine)
+	acc := &catalog.Accelerator{
+		UDFName:         udf.Name,
+		Program:         prog,
+		StriderProg:     sprog,
+		StriderCfg:      scfg,
+		Design:          design,
+		OperationMap:    compiler.OperationMap(prog.PerTuple, sched),
+		ScheduledCycles: sched.MakespanCycles,
+	}
+	if err := s.DB.Cat.StoreAccelerator(acc); err != nil {
+		return nil, err
+	}
+	return acc, nil
+}
+
+// TrainResult reports one functional accelerated training run.
+type TrainResult struct {
+	UDF    string
+	Table  string
+	Model  []float32
+	Epochs int
+
+	Engine engine.Stats
+	Access accessengine.Stats
+	Pool   bufpool.Stats
+	Design hwgen.Design
+
+	// SimulatedSeconds is the modeled accelerator time for the run
+	// (pipeline of engine/strider/transfer at the FPGA clock) plus I/O.
+	SimulatedSeconds float64
+}
+
+// Train runs the DAnA pipeline for a registered UDF over a table:
+// buffer-pool pages -> Striders -> execution engine, epoch by epoch
+// with convergence checks.
+func (s *System) Train(udfName, table string) (*TrainResult, error) {
+	udf, err := s.DB.Cat.UDF(udfName)
+	if err != nil {
+		return nil, err
+	}
+	acc, ok := s.DB.Cat.Accelerator(udfName)
+	if !ok {
+		rel, err := s.DB.Cat.Table(table)
+		if err != nil {
+			return nil, err
+		}
+		if acc, err = s.buildAccelerator(udf, 0, rel.NumTuples()); err != nil {
+			return nil, err
+		}
+	}
+	rel, err := s.DB.Cat.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	if got, want := rel.Schema.NumCols(), udf.Graph.TupleWidth(); got != want {
+		return nil, fmt.Errorf("runtime: table %q has %d columns, UDF %q consumes %d", table, got, udfName, want)
+	}
+
+	nStriders := acc.Design.NumStriders
+	if nStriders < 1 {
+		nStriders = 1
+	}
+	if nStriders > 16 {
+		nStriders = 16 // in-process VM instances; cycle model unchanged
+	}
+	ae, err := accessengine.New(strider.PostgresLayout(s.Opts.PageSize), rel.Schema, nStriders)
+	if err != nil {
+		return nil, err
+	}
+	machine, err := engine.NewMachine(acc.Program, acc.Design.Engine)
+	if err != nil {
+		return nil, err
+	}
+	// LRMF-style factor models cannot start at zero (a stationary
+	// point); seed them with the same small uniform initialization the
+	// reference implementation uses.
+	if len(udf.Graph.RowUpdates) > 0 {
+		init := ml.InitModel(ml.LRMF{
+			Users: udf.Graph.Model.Shape[0], Items: 0, Rank: udf.Graph.Model.Shape[1],
+		}, 1)
+		f32 := make([]float32, len(init))
+		for i, v := range init {
+			f32[i] = float32(v)
+		}
+		if err := machine.SetModel(f32); err != nil {
+			return nil, err
+		}
+	}
+
+	epochs := udf.Graph.Epochs
+	if epochs < 1 {
+		epochs = 1
+	}
+	if s.Opts.MaxEpochs > 0 && epochs > s.Opts.MaxEpochs {
+		epochs = s.Opts.MaxEpochs
+	}
+	res := &TrainResult{UDF: udfName, Table: table, Design: acc.Design}
+	for e := 0; e < epochs; e++ {
+		records, err := s.extractEpoch(ae, rel)
+		if err != nil {
+			return nil, err
+		}
+		if err := machine.RunEpoch(records, udf.Graph.MergeCoef); err != nil {
+			return nil, err
+		}
+		res.Epochs++
+		done, err := machine.Converged()
+		if err != nil {
+			return nil, err
+		}
+		if done {
+			break
+		}
+	}
+	res.Model = machine.Model()
+	res.Engine = machine.Stats()
+	res.Access = ae.Stats()
+	res.Pool = s.DB.Pool.Stats()
+	// Pipeline time: engine and striders overlap; PCIe transfer too.
+	clock := s.Opts.FPGA.ClockHz
+	engineSec := float64(res.Engine.Cycles) / clock
+	striderSec := float64(res.Access.Cycles) / clock
+	transferSec := float64(res.Access.Pages) * float64(s.Opts.PageSize) /
+		(s.Opts.Cost.PCIeBytesPerSec * nz(s.Opts.Cost.BandwidthScale))
+	pipe := engineSec
+	if striderSec > pipe {
+		pipe = striderSec
+	}
+	if transferSec > pipe {
+		pipe = transferSec
+	}
+	res.SimulatedSeconds = pipe + res.Pool.IOSeconds + s.Opts.Cost.SetupSec
+	return res, nil
+}
+
+func nz(v float64) float64 {
+	if v == 0 {
+		return 1
+	}
+	return v
+}
+
+// extractEpoch streams every page of the relation through the Striders,
+// returning the extracted tuple records. Pages are pinned in groups of
+// the Strider count, modeling the page buffers.
+func (s *System) extractEpoch(ae *accessengine.Engine, rel *storage.Relation) ([][]float32, error) {
+	var all [][]float32
+	n := rel.NumPages()
+	group := make([]storage.Page, 0, ae.NumStriders)
+	pinned := make([]uint32, 0, ae.NumStriders)
+	flush := func() error {
+		if len(group) == 0 {
+			return nil
+		}
+		recs, err := ae.ProcessPages(group)
+		if err != nil {
+			return err
+		}
+		all = append(all, recs...)
+		for _, pn := range pinned {
+			if err := s.DB.Pool.Unpin(rel.Name, pn); err != nil {
+				return err
+			}
+		}
+		group = group[:0]
+		pinned = pinned[:0]
+		return nil
+	}
+	for pn := 0; pn < n; pn++ {
+		pg, err := s.DB.Pool.Pin(rel.Name, uint32(pn))
+		if err != nil {
+			return nil, err
+		}
+		group = append(group, pg)
+		pinned = append(pinned, uint32(pn))
+		if len(group) == ae.NumStriders {
+			if err := flush(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return all, nil
+}
+
+// RunUDF implements sql.UDFRunner: training results surface as a result
+// set of (index, value) model parameters, capped at 4096 rows.
+func (s *System) RunUDF(udfName, table string) (*sql.Result, error) {
+	res, err := s.Train(udfName, table)
+	if err != nil {
+		return nil, err
+	}
+	out := &sql.Result{Cols: []string{"param", "value"}}
+	limitRows := len(res.Model)
+	if limitRows > 4096 {
+		limitRows = 4096
+	}
+	for i := 0; i < limitRows; i++ {
+		out.Rows = append(out.Rows, []float64{float64(i), float64(res.Model[i])})
+	}
+	out.Msg = fmt.Sprintf("DAnA trained %s on %s: %d epochs, %d tuples, %d cycles",
+		udfName, table, res.Epochs, res.Engine.Tuples, res.Engine.Cycles)
+	return out, nil
+}

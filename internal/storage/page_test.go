@@ -1,0 +1,210 @@
+package storage
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPageInvariants(t *testing.T) {
+	for _, size := range []int{PageSize8K, PageSize16K, PageSize32K} {
+		p := NewPage(size, 0)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+		if p.Size() != size {
+			t.Errorf("Size() = %d, want %d", p.Size(), size)
+		}
+		if p.Version() != LayoutVersion {
+			t.Errorf("Version() = %d, want %d", p.Version(), LayoutVersion)
+		}
+		if p.Lower() != PageHeaderSize {
+			t.Errorf("Lower() = %d, want %d", p.Lower(), PageHeaderSize)
+		}
+		if p.Upper() != size {
+			t.Errorf("Upper() = %d, want %d", p.Upper(), size)
+		}
+		if got := p.NumItems(); got != 0 {
+			t.Errorf("NumItems() = %d, want 0", got)
+		}
+	}
+}
+
+func TestPageSpecialSpace(t *testing.T) {
+	p := NewPage(PageSize8K, 100)
+	// Special space is MAXALIGN'd.
+	if got, want := p.Special(), PageSize8K-104; got != want {
+		t.Errorf("Special() = %d, want %d", got, want)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddItemRoundTrip(t *testing.T) {
+	p := NewPage(PageSize8K, 0)
+	items := [][]byte{
+		[]byte("hello"),
+		bytes.Repeat([]byte{0xAB}, 64),
+		{1},
+		bytes.Repeat([]byte{0xCD}, 257),
+	}
+	for i, it := range items {
+		idx, err := p.AddItem(it)
+		if err != nil {
+			t.Fatalf("AddItem(%d): %v", i, err)
+		}
+		if idx != i {
+			t.Fatalf("AddItem returned index %d, want %d", idx, i)
+		}
+	}
+	if got := p.NumItems(); got != len(items) {
+		t.Fatalf("NumItems = %d, want %d", got, len(items))
+	}
+	for i, want := range items {
+		got, err := p.Item(i)
+		if err != nil {
+			t.Fatalf("Item(%d): %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("Item(%d) = %x, want %x", i, got, want)
+		}
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddItemUntilFull(t *testing.T) {
+	p := NewPage(PageSize8K, 0)
+	item := bytes.Repeat([]byte{0x7F}, 100)
+	n := 0
+	for {
+		if _, err := p.AddItem(item); err != nil {
+			break
+		}
+		n++
+	}
+	// 104 aligned bytes + 4 byte line pointer per item out of 8192-24.
+	want := (PageSize8K - PageHeaderSize) / (104 + ItemIDSize)
+	if n != want {
+		t.Errorf("fit %d items, want %d", n, want)
+	}
+	if p.FreeSpace() >= 104+ItemIDSize {
+		t.Errorf("FreeSpace() = %d but AddItem failed", p.FreeSpace())
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeleteItem(t *testing.T) {
+	p := NewPage(PageSize8K, 0)
+	if _, err := p.AddItem([]byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.DeleteItem(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Item(0); err == nil {
+		t.Fatal("Item(0) after delete should fail")
+	}
+	id, err := p.ItemID(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id.Flags != LPDead {
+		t.Errorf("flags = %d, want LPDead", id.Flags)
+	}
+}
+
+func TestItemIDOutOfRange(t *testing.T) {
+	p := NewPage(PageSize8K, 0)
+	if _, err := p.ItemID(0); err == nil {
+		t.Error("ItemID(0) on empty page should fail")
+	}
+	if _, err := p.ItemID(-1); err == nil {
+		t.Error("ItemID(-1) should fail")
+	}
+}
+
+func TestItemIDEncodeDecodeProperty(t *testing.T) {
+	f := func(off uint16, flags uint8, length uint16) bool {
+		id := ItemID{Off: off & 0x7FFF, Flags: flags & 0x3, Len: length & 0x7FFF}
+		return decodeItemID(encodeItemID(id)) == id
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPageChecksum(t *testing.T) {
+	p := NewPage(PageSize8K, 0)
+	if _, err := p.AddItem([]byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	c1 := p.ComputeChecksum()
+	p.SetChecksum(c1)
+	if p.Checksum() != c1 {
+		t.Fatal("checksum not stored")
+	}
+	// Checksum must ignore its own field.
+	if p.ComputeChecksum() != c1 {
+		t.Fatal("checksum changed after storing it")
+	}
+	// And detect corruption elsewhere.
+	p[100] ^= 0xFF
+	if p.ComputeChecksum() == c1 {
+		t.Error("checksum did not change after corruption")
+	}
+}
+
+func TestValidateDetectsCorruption(t *testing.T) {
+	p := NewPage(PageSize8K, 0)
+	if _, err := p.AddItem(bytes.Repeat([]byte{1}, 32)); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt pd_lower to overlap pd_upper.
+	p[offLower] = 0xFF
+	p[offLower+1] = 0x7F
+	if err := p.Validate(); err == nil {
+		t.Error("Validate accepted corrupt lower pointer")
+	}
+}
+
+func TestPageLSN(t *testing.T) {
+	p := NewPage(PageSize8K, 0)
+	p.SetLSN(0xDEADBEEFCAFE)
+	if p.LSN() != 0xDEADBEEFCAFE {
+		t.Errorf("LSN = %x", p.LSN())
+	}
+}
+
+func TestRandomItemsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		p := NewPage(PageSize8K, 0)
+		var stored [][]byte
+		for {
+			item := make([]byte, 1+rng.Intn(300))
+			rng.Read(item)
+			if _, err := p.AddItem(item); err != nil {
+				break
+			}
+			stored = append(stored, item)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for i, want := range stored {
+			got, err := p.Item(i)
+			if err != nil {
+				t.Fatalf("trial %d item %d: %v", trial, i, err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("trial %d item %d mismatch", trial, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,237 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Relation is a heap of slotted pages holding fixed-width tuples for one
+// schema. It plays the role of the on-disk heap file: the buffer pool
+// (internal/bufpool) reads pages from it and charges simulated I/O time.
+type Relation struct {
+	Name     string
+	Schema   *Schema
+	PageSize int
+
+	mu      sync.RWMutex
+	pages   []Page
+	ntup    int
+	nextXID uint32
+}
+
+// NewRelation creates an empty heap relation with the given page size.
+func NewRelation(name string, schema *Schema, pageSize int) *Relation {
+	if pageSize <= 0 {
+		pageSize = PageSize32K
+	}
+	return &Relation{Name: name, Schema: schema, PageSize: pageSize, nextXID: 2}
+}
+
+// NumPages returns the number of heap pages.
+func (r *Relation) NumPages() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.pages)
+}
+
+// NumTuples returns the number of live tuples.
+func (r *Relation) NumTuples() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.ntup
+}
+
+// SizeBytes returns the total heap size in bytes.
+func (r *Relation) SizeBytes() int64 {
+	return int64(r.NumPages()) * int64(r.PageSize)
+}
+
+// TupleBytes returns the on-page footprint of one tuple: aligned header +
+// data, plus its line pointer.
+func (r *Relation) TupleBytes() int {
+	return alignUp(TupleHeaderSize+r.Schema.DataWidth(), MaxAlign) + ItemIDSize
+}
+
+// TuplesPerPage returns how many tuples fit on one page.
+func (r *Relation) TuplesPerPage() int {
+	usable := r.PageSize - PageHeaderSize
+	n := usable / r.TupleBytes()
+	if n < 1 {
+		n = 0
+	}
+	return n
+}
+
+// Page returns heap page i. The returned Page aliases relation storage;
+// treat it as read-only (the buffer pool copies it into a frame).
+func (r *Relation) Page(i int) (Page, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if i < 0 || i >= len(r.pages) {
+		return nil, fmt.Errorf("storage: relation %q has no page %d (of %d)", r.Name, i, len(r.pages))
+	}
+	return r.pages[i], nil
+}
+
+// Insert appends one row, allocating a new page when the current one is
+// full. It returns the tuple's TID.
+func (r *Relation) Insert(vals []float64) (TID, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.insertLocked(vals)
+}
+
+func (r *Relation) insertLocked(vals []float64) (TID, error) {
+	if len(r.pages) == 0 {
+		r.pages = append(r.pages, NewPage(r.PageSize, 0))
+	}
+	pageNo := len(r.pages) - 1
+	p := r.pages[pageNo]
+	tid := TID{Page: uint32(pageNo), Item: uint16(p.NumItems())}
+	raw, err := EncodeTuple(r.Schema, vals, r.nextXID, tid)
+	if err != nil {
+		return TID{}, err
+	}
+	if _, err = p.AddItem(raw); err != nil {
+		// Page full: start a new page and retry once.
+		p = NewPage(r.PageSize, 0)
+		r.pages = append(r.pages, p)
+		pageNo++
+		tid = TID{Page: uint32(pageNo), Item: 0}
+		raw, err = EncodeTuple(r.Schema, vals, r.nextXID, tid)
+		if err != nil {
+			return TID{}, err
+		}
+		if _, err = p.AddItem(raw); err != nil {
+			return TID{}, fmt.Errorf("storage: tuple of %d bytes does not fit on an empty %d-byte page: %w",
+				TupleHeaderSize+r.Schema.DataWidth(), r.PageSize, err)
+		}
+	}
+	r.nextXID++
+	r.ntup++
+	return tid, nil
+}
+
+// InsertBatch appends many rows, amortizing lock acquisition.
+func (r *Relation) InsertBatch(rows [][]float64) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, vals := range rows {
+		if _, err := r.insertLocked(vals); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Get fetches the decoded column values of the tuple at tid.
+func (r *Relation) Get(tid TID) ([]float64, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if int(tid.Page) >= len(r.pages) {
+		return nil, fmt.Errorf("storage: %q: no page %d", r.Name, tid.Page)
+	}
+	raw, err := r.pages[tid.Page].Item(int(tid.Item))
+	if err != nil {
+		return nil, err
+	}
+	return DecodeTuple(r.Schema, nil, raw)
+}
+
+// Scan invokes fn for every live tuple in heap order with its decoded
+// values. The values slice is reused between calls.
+func (r *Relation) Scan(fn func(tid TID, vals []float64) error) error {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var vals []float64
+	for pn, p := range r.pages {
+		for i := 0; i < p.NumItems(); i++ {
+			raw, err := p.Item(i)
+			if err != nil {
+				if id, e2 := p.ItemID(i); e2 == nil && id.Flags != LPNormal {
+					continue // deleted tuple
+				}
+				return err
+			}
+			vals = vals[:0]
+			vals, err = DecodeTuple(r.Schema, vals, raw)
+			if err != nil {
+				return err
+			}
+			if err := fn(TID{Page: uint32(pn), Item: uint16(i)}, vals); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Validate checks every page's invariants.
+func (r *Relation) Validate() error {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for i, p := range r.pages {
+		if err := p.Validate(); err != nil {
+			return fmt.Errorf("page %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Delete marks the tuple at tid dead (it keeps its storage until
+// Vacuum, exactly like PostgreSQL before autovacuum runs).
+func (r *Relation) Delete(tid TID) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if int(tid.Page) >= len(r.pages) {
+		return fmt.Errorf("storage: %q: no page %d", r.Name, tid.Page)
+	}
+	p := r.pages[tid.Page]
+	id, err := p.ItemID(int(tid.Item))
+	if err != nil {
+		return err
+	}
+	if id.Flags != LPNormal {
+		return fmt.Errorf("storage: tuple %v already dead", tid)
+	}
+	if err := p.DeleteItem(int(tid.Item)); err != nil {
+		return err
+	}
+	r.ntup--
+	return nil
+}
+
+// Vacuum rewrites the heap without dead tuples, compacting pages. It
+// restores the all-tuples-live invariant the generated Strider programs
+// rely on (DAnA trains over append-only snapshots; a vacuumed heap is
+// equivalent).
+func (r *Relation) Vacuum() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	old := r.pages
+	r.pages = nil
+	r.ntup = 0
+	for _, p := range old {
+		for i := 0; i < p.NumItems(); i++ {
+			id, err := p.ItemID(i)
+			if err != nil {
+				return err
+			}
+			if id.Flags != LPNormal {
+				continue
+			}
+			raw, err := p.Item(i)
+			if err != nil {
+				return err
+			}
+			vals, err := DecodeTuple(r.Schema, nil, raw)
+			if err != nil {
+				return err
+			}
+			if _, err := r.insertLocked(vals); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,202 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ColType enumerates the fixed-width column types the engine supports.
+// Advanced-analytics training tables are dense numeric relations, so
+// fixed-width types cover the paper's workloads.
+type ColType uint8
+
+const (
+	TInvalid ColType = iota
+	TFloat32
+	TFloat64
+	TInt32
+	TInt64
+)
+
+// Size returns the on-disk width of the type in bytes.
+func (t ColType) Size() int {
+	switch t {
+	case TFloat32, TInt32:
+		return 4
+	case TFloat64, TInt64:
+		return 8
+	default:
+		return 0
+	}
+}
+
+// Align returns the required alignment of the type.
+func (t ColType) Align() int { return t.Size() }
+
+func (t ColType) String() string {
+	switch t {
+	case TFloat32:
+		return "float4"
+	case TFloat64:
+		return "float8"
+	case TInt32:
+		return "int4"
+	case TInt64:
+		return "int8"
+	default:
+		return "invalid"
+	}
+}
+
+// ParseColType parses SQL-ish type names.
+func ParseColType(s string) (ColType, error) {
+	switch strings.ToLower(s) {
+	case "float4", "real", "float32":
+		return TFloat32, nil
+	case "float8", "double", "double precision", "float64", "float":
+		return TFloat64, nil
+	case "int4", "int", "integer", "int32":
+		return TInt32, nil
+	case "int8", "bigint", "int64":
+		return TInt64, nil
+	default:
+		return TInvalid, fmt.Errorf("storage: unknown column type %q", s)
+	}
+}
+
+// Column describes one attribute of a relation.
+type Column struct {
+	Name string
+	Type ColType
+}
+
+// Schema is an ordered list of columns. All columns are NOT NULL
+// fixed-width values, so tuple layout is static.
+type Schema struct {
+	Cols []Column
+
+	offsets []int // computed byte offset of each column within tuple data
+	width   int   // total (aligned) data width
+}
+
+// NewSchema builds a schema and computes the aligned column offsets.
+func NewSchema(cols ...Column) *Schema {
+	s := &Schema{Cols: cols}
+	off := 0
+	s.offsets = make([]int, len(cols))
+	for i, c := range cols {
+		off = alignUp(off, c.Type.Align())
+		s.offsets[i] = off
+		off += c.Type.Size()
+	}
+	s.width = off
+	return s
+}
+
+// NumCols returns the number of columns.
+func (s *Schema) NumCols() int { return len(s.Cols) }
+
+// DataWidth returns the fixed byte width of the user-data portion of a
+// tuple (excluding the heap tuple header).
+func (s *Schema) DataWidth() int { return s.width }
+
+// ColOffset returns the byte offset of column i within the tuple data.
+func (s *Schema) ColOffset(i int) int { return s.offsets[i] }
+
+// ColIndex returns the index of the named column, or -1.
+func (s *Schema) ColIndex(name string) int {
+	for i, c := range s.Cols {
+		if strings.EqualFold(c.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// String renders the schema as "(a float4, b float8)".
+func (s *Schema) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, c := range s.Cols {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s %s", c.Name, c.Type)
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// NumericSchema builds the common analytics schema: nFeatures float4
+// feature columns named f0..f{n-1} followed by a float4 label column.
+func NumericSchema(nFeatures int) *Schema {
+	cols := make([]Column, 0, nFeatures+1)
+	for i := 0; i < nFeatures; i++ {
+		cols = append(cols, Column{Name: fmt.Sprintf("f%d", i), Type: TFloat32})
+	}
+	cols = append(cols, Column{Name: "label", Type: TFloat32})
+	return NewSchema(cols...)
+}
+
+// RatingSchema builds the LRMF schema: (userid int4, itemid int4, rating float4).
+func RatingSchema() *Schema {
+	return NewSchema(
+		Column{Name: "userid", Type: TInt32},
+		Column{Name: "itemid", Type: TInt32},
+		Column{Name: "rating", Type: TFloat32},
+	)
+}
+
+// EncodeValues serializes a row of float64 values (converted per column
+// type) into dst, which must be at least DataWidth bytes. Integers are
+// truncated from the float64 representation.
+func (s *Schema) EncodeValues(dst []byte, vals []float64) error {
+	if len(vals) != len(s.Cols) {
+		return fmt.Errorf("storage: schema has %d columns, got %d values", len(s.Cols), len(vals))
+	}
+	if len(dst) < s.width {
+		return fmt.Errorf("storage: need %d bytes, have %d", s.width, len(dst))
+	}
+	for i, c := range s.Cols {
+		off := s.offsets[i]
+		switch c.Type {
+		case TFloat32:
+			binary.LittleEndian.PutUint32(dst[off:], math.Float32bits(float32(vals[i])))
+		case TFloat64:
+			binary.LittleEndian.PutUint64(dst[off:], math.Float64bits(vals[i]))
+		case TInt32:
+			binary.LittleEndian.PutUint32(dst[off:], uint32(int32(vals[i])))
+		case TInt64:
+			binary.LittleEndian.PutUint64(dst[off:], uint64(int64(vals[i])))
+		default:
+			return fmt.Errorf("storage: cannot encode column %q of type %v", c.Name, c.Type)
+		}
+	}
+	return nil
+}
+
+// DecodeValues deserializes tuple data into a float64 slice (one element
+// per column), appending to dst and returning it.
+func (s *Schema) DecodeValues(dst []float64, data []byte) ([]float64, error) {
+	if len(data) < s.width {
+		return dst, fmt.Errorf("storage: tuple data %d bytes, schema needs %d", len(data), s.width)
+	}
+	for i, c := range s.Cols {
+		off := s.offsets[i]
+		switch c.Type {
+		case TFloat32:
+			dst = append(dst, float64(math.Float32frombits(binary.LittleEndian.Uint32(data[off:]))))
+		case TFloat64:
+			dst = append(dst, math.Float64frombits(binary.LittleEndian.Uint64(data[off:])))
+		case TInt32:
+			dst = append(dst, float64(int32(binary.LittleEndian.Uint32(data[off:]))))
+		case TInt64:
+			dst = append(dst, float64(int64(binary.LittleEndian.Uint64(data[off:]))))
+		default:
+			return dst, fmt.Errorf("storage: cannot decode column %q of type %v", c.Name, c.Type)
+		}
+	}
+	return dst, nil
+}

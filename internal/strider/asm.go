@@ -1,0 +1,136 @@
+package strider
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble parses Strider assembly text into instructions. Syntax
+// follows the paper's examples: one instruction per line, operands
+// comma-separated, comments introduced by `\\`, `//`, `;`, or `#`.
+//
+//	readB 12, 2, %cr0
+//	bentr
+//	bexit 1, %t0, %cr0
+func Assemble(src string) ([]Instr, error) {
+	var prog []Instr
+	for lineno, line := range strings.Split(src, "\n") {
+		for _, marker := range []string{`\\`, "//", ";", "#"} {
+			if i := strings.Index(line, marker); i >= 0 {
+				line = line[:i]
+			}
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		fields := strings.SplitN(line, " ", 2)
+		mnemonic := strings.TrimSpace(fields[0])
+		op, ok := opcodeByName(mnemonic)
+		if !ok {
+			return nil, fmt.Errorf("strider: line %d: unknown mnemonic %q", lineno+1, mnemonic)
+		}
+		in := Instr{Op: op}
+		var operands []string
+		if len(fields) == 2 {
+			for _, o := range strings.Split(fields[1], ",") {
+				o = strings.TrimSpace(o)
+				if o != "" {
+					operands = append(operands, o)
+				}
+			}
+		}
+		want := operandCount(op)
+		if len(operands) != want {
+			return nil, fmt.Errorf("strider: line %d: %s takes %d operands, got %d", lineno+1, op, want, len(operands))
+		}
+		dst := []*Operand{&in.A, &in.B, &in.C}
+		for i, o := range operands {
+			parsed, err := parseOperand(o)
+			if err != nil {
+				return nil, fmt.Errorf("strider: line %d: %v", lineno+1, err)
+			}
+			*dst[i] = parsed
+		}
+		prog = append(prog, in)
+	}
+	return prog, nil
+}
+
+// Disassemble renders a program as assembly text.
+func Disassemble(prog []Instr) string {
+	var b strings.Builder
+	for _, in := range prog {
+		b.WriteString(in.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// EncodeProgram packs a program into 22-bit words (stored one per uint32).
+func EncodeProgram(prog []Instr) []uint32 {
+	words := make([]uint32, len(prog))
+	for i, in := range prog {
+		words[i] = in.Encode()
+	}
+	return words
+}
+
+// DecodeProgram unpacks words produced by EncodeProgram.
+func DecodeProgram(words []uint32) ([]Instr, error) {
+	prog := make([]Instr, len(words))
+	for i, w := range words {
+		in, err := Decode(w)
+		if err != nil {
+			return nil, fmt.Errorf("strider: word %d: %w", i, err)
+		}
+		prog[i] = in
+	}
+	return prog, nil
+}
+
+func opcodeByName(name string) (Opcode, bool) {
+	for i, n := range opcodeNames {
+		if n == name {
+			return Opcode(i), true
+		}
+	}
+	return 0, false
+}
+
+// operandCount returns how many operand fields each mnemonic uses in
+// assembly (unused fields encode as zero).
+func operandCount(op Opcode) int {
+	switch op {
+	case OpBentr:
+		return 0
+	case OpInsert:
+		return 2
+	default:
+		return 3
+	}
+}
+
+func parseOperand(s string) (Operand, error) {
+	switch {
+	case strings.HasPrefix(s, "%t"):
+		i, err := strconv.Atoi(s[2:])
+		if err != nil {
+			return 0, fmt.Errorf("bad register %q", s)
+		}
+		return TReg(i)
+	case strings.HasPrefix(s, "%cr"):
+		i, err := strconv.Atoi(s[3:])
+		if err != nil {
+			return 0, fmt.Errorf("bad register %q", s)
+		}
+		return CReg(i)
+	default:
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			return 0, fmt.Errorf("bad operand %q", s)
+		}
+		return Imm(v)
+	}
+}

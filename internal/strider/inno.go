@@ -1,0 +1,72 @@
+package strider
+
+import (
+	"fmt"
+
+	"dana/internal/storage"
+)
+
+// InnoLayout describes a MySQL/InnoDB-style page (see
+// storage.InnoPage): records form a singly linked list threaded
+// through the page rather than PostgreSQL's line-pointer array, so the
+// generated program is pure pointer chasing — the access pattern the
+// Strider ISA's branch instructions exist for (§5.1.2).
+type InnoLayout struct {
+	PageSize         int
+	CountOffset      int // record-count field offset
+	FirstOffset      int // first-record-pointer field offset
+	RecordHeaderSize int // bytes to strip before the payload
+	NextPtrOffset    int // next-pointer offset within the record header
+	PayloadWidth     int // fixed payload bytes per record (schema width)
+}
+
+// InnoDBLayout returns the layout of storage.InnoPage pages for a
+// schema.
+func InnoDBLayout(pageSize int, schema *storage.Schema) InnoLayout {
+	return InnoLayout{
+		PageSize:         pageSize,
+		CountOffset:      38,
+		FirstOffset:      42,
+		RecordHeaderSize: storage.InnoRecordHeaderSize,
+		NextPtrOffset:    3,
+		PayloadWidth:     schema.DataWidth(),
+	}
+}
+
+// GenerateInnoDB emits the Strider program and configuration that walk
+// an InnoDB-style record chain and emit every payload. The payload
+// width exceeds the 5-bit immediate range for real schemas, so it is
+// pre-loaded into %cr3 through the configuration channel, as the
+// compiler does for all page metadata (§6.2).
+//
+// Like the PostgreSQL walker, the loop is a do-while: pages hold at
+// least one record (guaranteed by the storage layer's bulk loader).
+func GenerateInnoDB(layout InnoLayout) ([]Instr, Config, error) {
+	if layout.RecordHeaderSize > operandImmMax || layout.NextPtrOffset > operandImmMax {
+		return nil, Config{}, fmt.Errorf("strider: record header geometry exceeds immediate range")
+	}
+	var cfg Config
+	cfg.CR[3] = uint64(layout.PayloadWidth)
+	// Header field offsets exceed the 5-bit immediate range, so they
+	// are pre-loaded constants too.
+	cfg.CR[4] = uint64(layout.CountOffset)
+	cfg.CR[5] = uint64(layout.FirstOffset)
+
+	src := fmt.Sprintf(`
+\\ Page header processing
+readB %%cr4, 2, %%cr0       \\ record count
+readB %%cr5, 2, %%t0        \\ offset of the first user record
+\\ Record chain walk
+bentr
+cln %%t0, %d, %%cr3         \\ emit the payload (strip the record header)
+ad %%t0, %d, %%t1           \\ address of the next-record pointer
+readB %%t1, 2, %%t0         \\ chase the pointer
+bexit 0, %%t0, 0            \\ end of chain (next == 0)
+`,
+		layout.RecordHeaderSize, layout.NextPtrOffset)
+	prog, err := Assemble(src)
+	if err != nil {
+		return nil, Config{}, fmt.Errorf("strider: generated InnoDB program failed to assemble: %w", err)
+	}
+	return prog, cfg, nil
+}

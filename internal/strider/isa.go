@@ -1,0 +1,173 @@
+// Package strider implements DAnA's Strider ISA (paper §5.1.2, Table 2):
+// 22-bit fixed-width instructions specialized for pointer chasing and
+// tuple extraction from raw database pages. The package provides the
+// binary encoding, a two-way assembler, an executable Strider VM, and a
+// compiler that generates extraction programs from a page layout.
+package strider
+
+import (
+	"fmt"
+)
+
+// Opcode values (Table 2).
+type Opcode uint8
+
+const (
+	OpReadB  Opcode = 0  // readB  src, len, dst   : dst = LE-int of page[src:src+len]
+	OpExtrB  Opcode = 1  // extrB  src, off, dst   : dst = byte `off` of register src
+	OpWriteB Opcode = 2  // writeB src, len, addr  : page[addr:addr+len] = low bytes of src
+	OpExtrBi Opcode = 3  // extrBi src, fd,  dst   : dst = bitfield fd of src (fd indexes the config field table)
+	OpClean  Opcode = 4  // cln    addr, skip, len : emit page[addr+skip : addr+skip+len] to the output FIFO
+	OpInsert Opcode = 5  // ins    val, len, _     : emit low `len` bytes of val to the output FIFO
+	OpAdd    Opcode = 6  // ad     a, b, dst       : dst = a + b
+	OpSub    Opcode = 7  // sub    a, b, dst       : dst = a - b
+	OpMul    Opcode = 8  // mul    a, b, dst       : dst = a * b
+	OpBentr  Opcode = 9  // bentr                  : mark loop entry
+	OpBexit  Opcode = 10 // bexit  cond, a, b      : exit loop if cond(a,b), else jump to entry
+)
+
+var opcodeNames = [...]string{
+	"readB", "extrB", "writeB", "extrBi", "cln", "ins", "ad", "sub", "mul", "bentr", "bexit",
+}
+
+func (o Opcode) String() string {
+	if int(o) < len(opcodeNames) {
+		return opcodeNames[o]
+	}
+	return fmt.Sprintf("op%d", uint8(o))
+}
+
+// Bexit condition codes (the paper's "Condition Value" field).
+const (
+	CondEQ = 0 // exit if a == b
+	CondGE = 1 // exit if a >= b
+	CondGT = 2 // exit if a > b
+	CondNE = 3 // exit if a != b
+)
+
+// Operand encoding: each 6-bit operand field selects an immediate or a
+// register (DESIGN.md concretization):
+//
+//	 0–31: immediate value 0..31
+//	32–47: temporary registers %t0–%t15
+//	48–63: configuration registers %cr0–%cr15
+const (
+	NumTempRegs   = 16
+	NumConfigRegs = 16
+
+	operandImmMax = 31
+	operandTBase  = 32
+	operandCRBase = 48
+)
+
+// Operand is one decoded 6-bit operand field.
+type Operand uint8
+
+// Imm builds an immediate operand (0..31).
+func Imm(v int) (Operand, error) {
+	if v < 0 || v > operandImmMax {
+		return 0, fmt.Errorf("strider: immediate %d out of range [0,31]", v)
+	}
+	return Operand(v), nil
+}
+
+// TReg builds a temporary-register operand %t{i}.
+func TReg(i int) (Operand, error) {
+	if i < 0 || i >= NumTempRegs {
+		return 0, fmt.Errorf("strider: %%t%d out of range", i)
+	}
+	return Operand(operandTBase + i), nil
+}
+
+// CReg builds a configuration-register operand %cr{i}.
+func CReg(i int) (Operand, error) {
+	if i < 0 || i >= NumConfigRegs {
+		return 0, fmt.Errorf("strider: %%cr%d out of range", i)
+	}
+	return Operand(operandCRBase + i), nil
+}
+
+// IsImm reports whether the operand is an immediate.
+func (o Operand) IsImm() bool { return o <= operandImmMax }
+
+// IsReg reports whether the operand names a register.
+func (o Operand) IsReg() bool { return o >= operandTBase }
+
+func (o Operand) String() string {
+	switch {
+	case o <= operandImmMax:
+		return fmt.Sprintf("%d", int(o))
+	case o < operandCRBase:
+		return fmt.Sprintf("%%t%d", int(o)-operandTBase)
+	default:
+		return fmt.Sprintf("%%cr%d", int(o)-operandCRBase)
+	}
+}
+
+// Instr is one decoded 22-bit Strider instruction. Bit layout
+// (Table 2): [21:18] opcode, [17:12] op1, [11:6] op2, [5:0] op3.
+type Instr struct {
+	Op Opcode
+	A  Operand // bits 17..12
+	B  Operand // bits 11..6
+	C  Operand // bits  5..0
+}
+
+// InstrBits is the number of bits in an encoded instruction.
+const InstrBits = 22
+
+// Encode packs the instruction into its 22-bit binary form.
+func (i Instr) Encode() uint32 {
+	return uint32(i.Op&0xF)<<18 | uint32(i.A&0x3F)<<12 | uint32(i.B&0x3F)<<6 | uint32(i.C&0x3F)
+}
+
+// Decode unpacks a 22-bit instruction word.
+func Decode(w uint32) (Instr, error) {
+	if w>>InstrBits != 0 {
+		return Instr{}, fmt.Errorf("strider: word %#x wider than %d bits", w, InstrBits)
+	}
+	in := Instr{
+		Op: Opcode(w >> 18 & 0xF),
+		A:  Operand(w >> 12 & 0x3F),
+		B:  Operand(w >> 6 & 0x3F),
+		C:  Operand(w & 0x3F),
+	}
+	if in.Op > OpBexit {
+		return Instr{}, fmt.Errorf("strider: invalid opcode %d", in.Op)
+	}
+	return in, nil
+}
+
+func (i Instr) String() string {
+	switch i.Op {
+	case OpBentr:
+		return "bentr"
+	case OpInsert:
+		return fmt.Sprintf("%s %s, %s", i.Op, i.A, i.B)
+	default:
+		return fmt.Sprintf("%s %s, %s, %s", i.Op, i.A, i.B, i.C)
+	}
+}
+
+// FieldDesc describes one configurable bit-field for extrBi: the
+// instruction's second operand indexes a table of these, pre-loaded
+// through the configuration channel (Figure 5's "Insert Constants").
+type FieldDesc struct {
+	Start uint8 // first bit (LSB = 0)
+	Width uint8 // number of bits (1..32)
+}
+
+// Extract applies the bit-field to v.
+func (f FieldDesc) Extract(v uint64) uint64 {
+	if f.Width == 0 || f.Width > 32 {
+		return 0
+	}
+	return (v >> f.Start) & (1<<f.Width - 1)
+}
+
+// Config is the per-Strider configuration state loaded before execution:
+// initial configuration register values and the extrBi field table.
+type Config struct {
+	CR     [NumConfigRegs]uint64
+	Fields [NumConfigRegs]FieldDesc
+}

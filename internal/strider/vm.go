@@ -1,0 +1,214 @@
+package strider
+
+import (
+	"errors"
+	"fmt"
+)
+
+// VM executes a Strider program against one page buffer, emitting
+// cleaned tuple bytes to an output buffer. It also counts cycles: one
+// cycle per instruction plus one cycle per 8 bytes moved by cln/ins,
+// modeling the Strider's sequential byte path.
+type VM struct {
+	Prog   []Instr
+	Config Config
+
+	// MaxSteps bounds execution to catch runaway loops (0 = default).
+	MaxSteps int
+
+	t      [NumTempRegs]uint64
+	cr     [NumConfigRegs]uint64
+	page   []byte
+	out    []byte
+	cycles int64
+	writes int // count of writeB-modified bytes
+}
+
+// Default step bound: generous for a 32 KB page walk.
+const defaultMaxSteps = 1 << 20
+
+// ErrRunaway is returned when execution exceeds MaxSteps.
+var ErrRunaway = errors.New("strider: step budget exhausted (runaway loop?)")
+
+// NewVM builds a VM for the program and configuration.
+func NewVM(prog []Instr, cfg Config) *VM {
+	return &VM{Prog: prog, Config: cfg}
+}
+
+// Out returns the emitted output bytes of the last Run.
+func (vm *VM) Out() []byte { return vm.out }
+
+// Cycles returns the cycle count of the last Run.
+func (vm *VM) Cycles() int64 { return vm.cycles }
+
+// BytesWritten returns how many page bytes writeB modified in the last Run.
+func (vm *VM) BytesWritten() int { return vm.writes }
+
+// Run executes the program over the page, appending emitted bytes to an
+// internal buffer (retrievable via Out).
+func (vm *VM) Run(page []byte) error {
+	vm.page = page
+	vm.out = vm.out[:0]
+	vm.cycles = 0
+	vm.writes = 0
+	vm.t = [NumTempRegs]uint64{}
+	vm.cr = vm.Config.CR
+
+	maxSteps := vm.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = defaultMaxSteps
+	}
+	var loopStack []int
+	pc := 0
+	for steps := 0; pc < len(vm.Prog); steps++ {
+		if steps >= maxSteps {
+			return fmt.Errorf("%w at pc=%d", ErrRunaway, pc)
+		}
+		in := vm.Prog[pc]
+		vm.cycles++
+		switch in.Op {
+		case OpReadB:
+			addr, n := vm.val(in.A), vm.val(in.B)
+			if n > 8 {
+				return vm.fault(pc, "readB length %d > 8", n)
+			}
+			v, err := vm.load(pc, addr, n)
+			if err != nil {
+				return err
+			}
+			if err := vm.store(pc, in.C, v); err != nil {
+				return err
+			}
+		case OpExtrB:
+			src, off := vm.val(in.A), vm.val(in.B)
+			if off > 7 {
+				return vm.fault(pc, "extrB byte offset %d > 7", off)
+			}
+			if err := vm.store(pc, in.C, src>>(8*off)&0xFF); err != nil {
+				return err
+			}
+		case OpWriteB:
+			src, n, addr := vm.val(in.A), vm.val(in.B), vm.val(in.C)
+			if n > 8 {
+				return vm.fault(pc, "writeB length %d > 8", n)
+			}
+			if addr+n > uint64(len(vm.page)) {
+				return vm.fault(pc, "writeB [%d,%d) beyond page of %d bytes", addr, addr+n, len(vm.page))
+			}
+			for i := uint64(0); i < n; i++ {
+				vm.page[addr+i] = byte(src >> (8 * i))
+			}
+			vm.writes += int(n)
+		case OpExtrBi:
+			src := vm.val(in.A)
+			fdIdx := vm.val(in.B)
+			if fdIdx >= NumConfigRegs {
+				return vm.fault(pc, "extrBi field index %d out of range", fdIdx)
+			}
+			fd := vm.Config.Fields[fdIdx]
+			if err := vm.store(pc, in.C, fd.Extract(src)); err != nil {
+				return err
+			}
+		case OpClean:
+			addr, skip, n := vm.val(in.A), vm.val(in.B), vm.val(in.C)
+			start := addr + skip
+			if start+n > uint64(len(vm.page)) {
+				return vm.fault(pc, "cln [%d,%d) beyond page of %d bytes", start, start+n, len(vm.page))
+			}
+			vm.out = append(vm.out, vm.page[start:start+n]...)
+			vm.cycles += int64(n+7) / 8
+		case OpInsert:
+			v, n := vm.val(in.A), vm.val(in.B)
+			if n > 8 {
+				return vm.fault(pc, "ins length %d > 8", n)
+			}
+			for i := uint64(0); i < n; i++ {
+				vm.out = append(vm.out, byte(v>>(8*i)))
+			}
+			vm.cycles++
+		case OpAdd:
+			if err := vm.store(pc, in.C, vm.val(in.A)+vm.val(in.B)); err != nil {
+				return err
+			}
+		case OpSub:
+			if err := vm.store(pc, in.C, vm.val(in.A)-vm.val(in.B)); err != nil {
+				return err
+			}
+		case OpMul:
+			if err := vm.store(pc, in.C, vm.val(in.A)*vm.val(in.B)); err != nil {
+				return err
+			}
+		case OpBentr:
+			loopStack = append(loopStack, pc)
+		case OpBexit:
+			if len(loopStack) == 0 {
+				return vm.fault(pc, "bexit without bentr")
+			}
+			cond := int(in.A)
+			a, b := vm.val(in.B), vm.val(in.C)
+			exit := false
+			switch cond {
+			case CondEQ:
+				exit = a == b
+			case CondGE:
+				exit = a >= b
+			case CondGT:
+				exit = a > b
+			case CondNE:
+				exit = a != b
+			default:
+				return vm.fault(pc, "bexit condition %d invalid", cond)
+			}
+			if exit {
+				loopStack = loopStack[:len(loopStack)-1]
+			} else {
+				pc = loopStack[len(loopStack)-1]
+			}
+		default:
+			return vm.fault(pc, "invalid opcode %d", in.Op)
+		}
+		pc++
+	}
+	return nil
+}
+
+// val resolves an operand to its value.
+func (vm *VM) val(o Operand) uint64 {
+	switch {
+	case o <= operandImmMax:
+		return uint64(o)
+	case o < operandCRBase:
+		return vm.t[o-operandTBase]
+	default:
+		return vm.cr[o-operandCRBase]
+	}
+}
+
+// store writes v to a register operand.
+func (vm *VM) store(pc int, o Operand, v uint64) error {
+	switch {
+	case o <= operandImmMax:
+		return vm.fault(pc, "destination operand %s is an immediate", o)
+	case o < operandCRBase:
+		vm.t[o-operandTBase] = v
+	default:
+		vm.cr[o-operandCRBase] = v
+	}
+	return nil
+}
+
+// load reads an n-byte little-endian value from the page.
+func (vm *VM) load(pc int, addr, n uint64) (uint64, error) {
+	if addr+n > uint64(len(vm.page)) {
+		return 0, vm.fault(pc, "readB [%d,%d) beyond page of %d bytes", addr, addr+n, len(vm.page))
+	}
+	var v uint64
+	for i := uint64(0); i < n; i++ {
+		v |= uint64(vm.page[addr+i]) << (8 * i)
+	}
+	return v, nil
+}
+
+func (vm *VM) fault(pc int, format string, args ...interface{}) error {
+	return fmt.Errorf("strider: pc=%d %s: %s", pc, vm.Prog[pc], fmt.Sprintf(format, args...))
+}
