@@ -525,6 +525,95 @@ func BenchmarkDAnAFunctionalEpoch(b *testing.B) {
 	b.ReportMetric(float64(d.Tuples)*float64(b.N)/b.Elapsed().Seconds(), "tuples/s")
 }
 
+// --- Host-parallel executor benchmarks ---------------------------------------
+
+// openTrainBench deploys a multi-page workload on an engine with the
+// given executor configuration and registers its UDF.
+func openTrainBench(b *testing.B, workload string, scale float64, mergeCoef, workers, epochs int, noCache bool) (*Engine, *Dataset, *Algo) {
+	b.Helper()
+	eng, err := Open(Config{
+		PageSize: 32 << 10, PoolBytes: 128 << 20,
+		Workers: workers, NoExtractCache: noCache,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := eng.LoadWorkload(workload, scale, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := d.DSLAlgo(mergeCoef)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a.SetEpochs(epochs)
+	if err := eng.RegisterUDF(a, mergeCoef); err != nil {
+		b.Fatal(err)
+	}
+	return eng, d, a
+}
+
+// BenchmarkParallelExtract measures the wall-clock of one full
+// extraction epoch (buffer pool -> Strider VMs -> deformat -> engine)
+// with the record cache disabled, so every iteration re-walks every
+// page: serial vs the pipelined worker pool at 4 and 8 workers.
+// Modeled cycle counts are identical across all variants.
+func BenchmarkParallelExtract(b *testing.B) {
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			eng, d, a := openTrainBench(b, "Remote Sensing LR", 0.02, 64, workers, 1, true)
+			b.SetBytes(int64(d.Rel.NumPages()) * int64(storage.PageSize32K))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Train(a.Name, d.Rel.Name); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(d.Tuples)*float64(b.N)/b.Elapsed().Seconds(), "tuples/s")
+		})
+	}
+}
+
+// BenchmarkTrainWallClock measures a multi-epoch training query end to
+// end: the serial re-extracting executor versus the pipelined worker
+// pool combined with the cross-epoch record cache (epochs >= 2 skip the
+// buffer pool and Strider walk entirely).
+func BenchmarkTrainWallClock(b *testing.B) {
+	const epochs = 8
+	workloads := []struct {
+		name      string
+		workload  string
+		scale     float64
+		mergeCoef int
+	}{
+		{"LR", "Remote Sensing LR", 0.02, 64},
+		{"LRMF", "Netflix", 0.004, 1},
+	}
+	configs := []struct {
+		name    string
+		workers int
+		noCache bool
+	}{
+		{"serial", 1, true},
+		{"parallel4+cache", 4, false},
+		{"parallel8+cache", 8, false},
+	}
+	for _, wl := range workloads {
+		for _, cfg := range configs {
+			b.Run(wl.name+"/"+cfg.name, func(b *testing.B) {
+				eng, d, a := openTrainBench(b, wl.workload, wl.scale, wl.mergeCoef, cfg.workers, epochs, cfg.noCache)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := eng.Train(a.Name, d.Rel.Name); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(epochs*d.Tuples)*float64(b.N)/b.Elapsed().Seconds(), "tuples/s")
+			})
+		}
+	}
+}
+
 // BenchmarkCompilePipeline measures DSL -> hDFG -> program -> design.
 func BenchmarkCompilePipeline(b *testing.B) {
 	env := experiments.DefaultEnv()

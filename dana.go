@@ -38,6 +38,17 @@ type Config struct {
 	PoolBytes int64
 	// MaxEpochs caps functional training (0 = the UDF's own budget).
 	MaxEpochs int
+	// Workers sets the host goroutines running Strider VMs during page
+	// extraction (0 = GOMAXPROCS capped at the Strider count; 1 =
+	// serial). Host parallelism changes wall-clock time only — modeled
+	// cycle counts and simulated seconds are bit-identical either way.
+	Workers int
+	// PipelineDepth bounds in-flight extracted page batches per worker
+	// (0 = default).
+	PipelineDepth int
+	// NoExtractCache disables the cross-epoch extracted-record cache,
+	// forcing every epoch to re-walk the heap through the Striders.
+	NoExtractCache bool
 }
 
 // Defaults returns the paper's default setup at in-process scale.
@@ -64,6 +75,9 @@ func Open(cfg Config) (*Engine, error) {
 	opts.PageSize = cfg.PageSize
 	opts.PoolBytes = cfg.PoolBytes
 	opts.MaxEpochs = cfg.MaxEpochs
+	opts.Workers = cfg.Workers
+	opts.PipelineDepth = cfg.PipelineDepth
+	opts.NoExtractCache = cfg.NoExtractCache
 	return &Engine{sys: runtime.New(opts)}, nil
 }
 

@@ -29,6 +29,11 @@ type Engine struct {
 	cfg  strider.Config
 	vms  []*strider.VM
 
+	// allF32 marks a packed all-float4 schema: the tuple payload is a
+	// flat little-endian float32 stream, decodable without the per-column
+	// type dispatch.
+	allF32 bool
+
 	stats Stats
 }
 
@@ -67,6 +72,13 @@ func newWith(layout strider.PageLayout, schema *storage.Schema, numStriders int,
 		return nil, fmt.Errorf("accessengine: need at least one strider, got %d", numStriders)
 	}
 	e := &Engine{Layout: layout, Schema: schema, NumStriders: numStriders, prog: prog, cfg: cfg}
+	e.allF32 = schema.DataWidth() == 4*schema.NumCols()
+	for i, col := range schema.Cols {
+		if col.Type != storage.TFloat32 || schema.ColOffset(i) != 4*i {
+			e.allF32 = false
+			break
+		}
+	}
 	for i := 0; i < numStriders; i++ {
 		e.vms = append(e.vms, strider.NewVM(prog, cfg))
 	}
@@ -110,41 +122,128 @@ func Deformat(schema *storage.Schema, data []byte, dst []float32) ([]float32, er
 	return dst, nil
 }
 
-// ProcessPage unpacks one page through a single Strider and returns the
-// extracted tuples as float32 records.
-func (e *Engine) ProcessPage(page storage.Page) ([][]float32, error) {
-	recs, _, err := e.processOn(0, page)
-	if err != nil {
-		return nil, err
-	}
-	return recs, nil
+// PageResult is one page's extraction output: the tuple values live in a
+// single flat arena (Data) with one row view per tuple (Rows), avoiding
+// a per-tuple allocation. Cycles and Bytes carry the modeled Strider
+// counters so stats can be charged later — and deterministically — by a
+// Collector, independent of which host goroutine ran the extraction.
+type PageResult struct {
+	PageNo int
+	Rows   [][]float32
+	Data   []float32
+	Cycles int64
+	Bytes  int64
 }
 
-func (e *Engine) processOn(vmIdx int, page storage.Page) ([][]float32, int64, error) {
+// ExtractPage runs the page through Strider vmIdx and deformats the
+// emitted tuples into res, reusing res.Data/res.Rows capacity. It does
+// not touch the engine's stats (see Collector); calls are safe
+// concurrently as long as each goroutine uses a distinct vmIdx — the
+// host-parallel analogue of the S independent Striders.
+func (e *Engine) ExtractPage(vmIdx int, page storage.Page, res *PageResult) error {
 	vm := e.vms[vmIdx]
 	if err := vm.Run(page); err != nil {
-		return nil, 0, err
+		return err
 	}
 	out := vm.Out()
 	w := e.Schema.DataWidth()
 	if len(out)%w != 0 {
-		return nil, 0, fmt.Errorf("accessengine: strider emitted %d bytes, not a multiple of tuple width %d", len(out), w)
+		return fmt.Errorf("accessengine: strider emitted %d bytes, not a multiple of tuple width %d", len(out), w)
 	}
 	n := len(out) / w
-	recs := make([][]float32, 0, n)
-	for i := 0; i < n; i++ {
-		rec, err := Deformat(e.Schema, out[i*w:(i+1)*w], make([]float32, 0, e.Schema.NumCols()))
-		if err != nil {
-			return nil, 0, err
-		}
-		recs = append(recs, rec)
+	cols := e.Schema.NumCols()
+	total := n * cols
+	data := res.Data[:0]
+	if cap(data) < total {
+		data = make([]float32, 0, total)
 	}
-	cyc := vm.Cycles()
-	e.stats.Pages++
-	e.stats.Tuples += int64(n)
-	e.stats.Bytes += int64(len(out))
-	e.stats.TotalCycles += cyc
-	return recs, cyc, nil
+	if e.allF32 {
+		// Packed float4 schema: the payload is one flat little-endian
+		// float32 stream, so the page decodes in a single pass.
+		data = data[:total]
+		for i := range data {
+			data[i] = math.Float32frombits(binary.LittleEndian.Uint32(out[i*4 : i*4+4]))
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			var err error
+			data, err = Deformat(e.Schema, out[i*w:(i+1)*w], data)
+			if err != nil {
+				return err
+			}
+		}
+	}
+	// Build the row views only after every append: the arena's backing
+	// array is final now.
+	rows := res.Rows[:0]
+	if cap(rows) < n {
+		rows = make([][]float32, 0, n)
+	}
+	for i := 0; i < n; i++ {
+		rows = append(rows, data[i*cols:(i+1)*cols:(i+1)*cols])
+	}
+	res.Data = data
+	res.Rows = rows
+	res.Cycles = vm.Cycles()
+	res.Bytes = int64(len(out))
+	return nil
+}
+
+// Collector folds a page-ordered stream of PageResults into the engine's
+// counters under the concurrent-strider cycle model: each consecutive
+// group of NumStriders pages unpacks in parallel, so the group charges
+// the maximum strider time in the group; per-page totals accumulate
+// unconditionally. Feeding results in page order makes the charged
+// cycles independent of host scheduling.
+type Collector struct {
+	e    *Engine
+	fill int
+	max  int64
+}
+
+// NewCollector starts a stats collection (one per page stream).
+func (e *Engine) NewCollector() *Collector { return &Collector{e: e} }
+
+// Add charges one page's counters, in page order.
+func (c *Collector) Add(r *PageResult) {
+	st := &c.e.stats
+	st.Pages++
+	st.Tuples += int64(len(r.Rows))
+	st.Bytes += r.Bytes
+	st.TotalCycles += r.Cycles
+	if r.Cycles > c.max {
+		c.max = r.Cycles
+	}
+	c.fill++
+	if c.fill == c.e.NumStriders {
+		c.flushGroup()
+	}
+}
+
+func (c *Collector) flushGroup() {
+	c.e.stats.Cycles += c.max
+	c.fill, c.max = 0, 0
+}
+
+// Flush charges a trailing partial group.
+func (c *Collector) Flush() {
+	if c.fill > 0 {
+		c.flushGroup()
+	}
+}
+
+// ProcessPage unpacks one page through a single Strider and returns the
+// extracted tuples as float32 records. It charges the page's own cycles
+// to Stats.Cycles, so the single-page and batch entry points agree.
+func (e *Engine) ProcessPage(page storage.Page) ([][]float32, error) {
+	var res PageResult
+	if err := e.ExtractPage(0, page, &res); err != nil {
+		return nil, err
+	}
+	c := e.NewCollector()
+	c.Add(&res)
+	c.Flush()
+	return res.Rows, nil
 }
 
 // ProcessPages unpacks a batch of pages across the striders. Pages are
@@ -153,24 +252,16 @@ func (e *Engine) processOn(vmIdx int, page storage.Page) ([][]float32, int64, er
 // concurrently), summed over groups.
 func (e *Engine) ProcessPages(pages []storage.Page) ([][]float32, error) {
 	var all [][]float32
-	for start := 0; start < len(pages); start += e.NumStriders {
-		end := start + e.NumStriders
-		if end > len(pages) {
-			end = len(pages)
+	c := e.NewCollector()
+	for i, pg := range pages {
+		var res PageResult
+		if err := e.ExtractPage(i%e.NumStriders, pg, &res); err != nil {
+			return nil, err
 		}
-		var groupMax int64
-		for i, pg := range pages[start:end] {
-			recs, cyc, err := e.processOn(i, pg)
-			if err != nil {
-				return nil, err
-			}
-			if cyc > groupMax {
-				groupMax = cyc
-			}
-			all = append(all, recs...)
-		}
-		e.stats.Cycles += groupMax
+		c.Add(&res)
+		all = append(all, res.Rows...)
 	}
+	c.Flush()
 	return all, nil
 }
 

@@ -83,6 +83,7 @@ type Pool struct {
 	disk     DiskModel
 	stats    Stats
 	pageSize int
+	invals   uint64 // bumped by Invalidate/InvalidateRelation
 
 	// VerifyChecksums makes every miss validate the page checksum
 	// (when one is stamped), modeling PostgreSQL's data_checksums:
@@ -156,7 +157,19 @@ func (p *Pool) Invalidate() error {
 		p.frames[i] = frame{}
 	}
 	p.table = make(map[PageID]int, len(p.frames))
+	p.invals++
 	return nil
+}
+
+// InvalidationCount returns how many times the pool has been invalidated
+// (fully or per relation). Derived caches — e.g. the runtime's
+// extracted-record cache — record the count at fill time: a later
+// mismatch means the cold-cache setting was requested and cached pages
+// must be re-read and re-charged.
+func (p *Pool) InvalidationCount() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.invals
 }
 
 // InvalidateRelation drops every cached page of one relation and
@@ -181,6 +194,7 @@ func (p *Pool) InvalidateRelation(rel string) error {
 		}
 	}
 	delete(p.rels, rel)
+	p.invals++
 	return nil
 }
 

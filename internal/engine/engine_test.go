@@ -2,6 +2,8 @@ package engine
 
 import (
 	"math"
+	"math/rand"
+	hostrt "runtime"
 	"strings"
 	"testing"
 )
@@ -59,6 +61,51 @@ func TestMachineSGDStep(t *testing.T) {
 	}
 	if st.Cycles <= 0 || st.ComputeCycles <= 0 || st.LoadCycles <= 0 {
 		t.Errorf("cycle accounting missing: %+v", st)
+	}
+}
+
+// TestRunBatchHostFanOutDeterminism: fanning a merge batch's model
+// threads across host goroutines must leave the model bits and every
+// cycle counter untouched relative to the serial machine.
+func TestRunBatchHostFanOutDeterminism(t *testing.T) {
+	old := hostrt.GOMAXPROCS(4)
+	defer hostrt.GOMAXPROCS(old)
+	p := linearProgWithMerge()
+	cfg := Config{Threads: 8, ACsPerThread: 2, AUsPerAC: 8, ClockHz: 150e6}
+	run := func(workers int) ([]float32, Stats) {
+		m, err := NewMachine(p, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.SetHostWorkers(workers)
+		defer m.Close()
+		rng := rand.New(rand.NewSource(7))
+		tuples := make([][]float32, 300)
+		for i := range tuples {
+			tup := make([]float32, 5)
+			for j := range tup {
+				tup[j] = float32(rng.NormFloat64())
+			}
+			tuples[i] = tup
+		}
+		for e := 0; e < 3; e++ {
+			if err := m.RunEpoch(tuples, 32); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return m.Model(), m.Stats()
+	}
+	wantModel, wantStats := run(1)
+	for _, w := range []int{2, 4, 8} {
+		gotModel, gotStats := run(w)
+		for i := range wantModel {
+			if math.Float32bits(gotModel[i]) != math.Float32bits(wantModel[i]) {
+				t.Fatalf("workers=%d: model[%d] = %v != serial %v", w, i, gotModel[i], wantModel[i])
+			}
+		}
+		if gotStats != wantStats {
+			t.Errorf("workers=%d: stats %+v != serial %+v", w, gotStats, wantStats)
+		}
 	}
 }
 

@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"math"
+	hostrt "runtime"
 )
 
 // Stats aggregates execution counters of a Machine.
@@ -27,6 +28,41 @@ type Machine struct {
 
 	scratch [][]float32 // per-thread scratchpads
 	stats   Stats
+
+	// Reused per-batch buffers (allocation-churn control; no semantic
+	// effect): per-thread merge accumulators, per-thread cycle counters,
+	// and the model broadcast staging copy.
+	mergeAccs [][]float32
+	threadCyc []int64
+	bcast     []float32
+
+	// Static cycle costs, precomputed once per program (instruction
+	// cycles depend only on the instruction and the config): total cost
+	// of each instruction list, the tuple load, the thread-local merge
+	// accumulate, and the model write-back.
+	cycPerTuple    int64
+	cycPostMerge   int64
+	cycRowUpdates  int64
+	cycConvergence int64
+	cycLoad        int64
+	cycLocalAcc    int64
+	cycWriteBack   int64
+
+	// Host fan-out of merge batches (SetHostWorkers): the k model
+	// threads of a batch are independent (each owns its scratchpad and
+	// merge accumulator), so they are dealt w, w+W, ... to W host
+	// goroutines. Helpers are spawned lazily and live until Close.
+	hostWorkers int
+	helperCh    []chan batchJob
+	helperDone  chan struct{}
+	partErrs    []error
+}
+
+// batchJob is one helper's share of a merge batch.
+type batchJob struct {
+	tuples  [][]float32
+	k, w, W int
+	errs    []error
 }
 
 // NewMachine instantiates the accelerator.
@@ -42,7 +78,94 @@ func NewMachine(p *Program, cfg Config) (*Machine, error) {
 		m.scratch[t] = make([]float32, p.Slots)
 		copy(m.scratch[t][p.ConstSlot.Base:p.ConstSlot.Base+p.ConstSlot.Len], p.Consts)
 	}
+	m.cycPerTuple = listCycles(p.PerTuple, cfg)
+	m.cycPostMerge = listCycles(p.PostMerge, cfg)
+	m.cycRowUpdates = listCycles(p.RowUpdates, cfg)
+	m.cycConvergence = listCycles(p.Convergence, cfg)
+	// The access engine distributes 8 values per cycle per thread FIFO.
+	m.cycLoad = int64(ceilDiv(p.InputSlot.Len, 8))
+	m.cycLocalAcc = int64(ceilDiv(p.MergeSrc.Len, cfg.Lanes()))
+	m.cycWriteBack = int64(ceilDiv(p.ModelSlot.Len, cfg.Lanes()))
 	return m, nil
+}
+
+// SetHostWorkers sets how many host goroutines execute a merge batch's
+// independent model threads (1 = serial, the default). This changes
+// wall-clock time only: each model thread's tuple order, accumulation
+// order, and the tree-bus merge order are unchanged, so results and
+// modeled cycles are bit-identical for any value. A machine with
+// workers > 1 must be Closed to release its helper goroutines.
+func (m *Machine) SetHostWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	m.hostWorkers = n
+}
+
+// Close releases the helper goroutines (idempotent; only needed after
+// SetHostWorkers with n > 1).
+func (m *Machine) Close() {
+	for _, ch := range m.helperCh {
+		close(ch)
+	}
+	m.helperCh = nil
+}
+
+// ensureHelpers lazily spawns helpers 1..W-1 (the caller acts as 0).
+func (m *Machine) ensureHelpers(w int) {
+	if m.helperDone == nil {
+		m.helperDone = make(chan struct{}, m.hostWorkers)
+	}
+	for len(m.helperCh) < w-1 {
+		ch := make(chan batchJob)
+		m.helperCh = append(m.helperCh, ch)
+		go func() {
+			for job := range ch {
+				m.runPartition(job.tuples, job.k, job.w, job.W, &job.errs[job.w])
+				m.helperDone <- struct{}{}
+			}
+		}()
+	}
+}
+
+// runPartition executes model threads w, w+W, ... of one merge batch:
+// tuple loads, the per-tuple program, and the thread-local merge
+// accumulate. It only touches those threads' scratchpads, accumulators,
+// and cycle counters, so partitions are mutually independent; no shared
+// stats are written (the caller charges them from static costs).
+func (m *Machine) runPartition(tuples [][]float32, k, w, W int, errp *error) {
+	p := m.Prog
+	accs := m.mergeAccs[:k]
+	threadCycles := m.threadCyc[:k]
+	for t := w; t < k; t += W {
+		for i := t; i < len(tuples); i += k {
+			if err := m.loadTuple(t, tuples[i]); err != nil {
+				*errp = err
+				return
+			}
+			if err := m.execList(t, p.PerTuple); err != nil {
+				*errp = err
+				return
+			}
+			threadCycles[t] += m.cycLoad + m.cycPerTuple
+			src := m.scratch[t][p.MergeSrc.Base : p.MergeSrc.Base+p.MergeSrc.Len]
+			if len(accs[t]) == 0 {
+				accs[t] = append(accs[t], src...)
+			} else {
+				if p.MergeOp == AAdd {
+					acc := accs[t]
+					for j := range acc {
+						acc[j] = acc[j] + src[j]
+					}
+				} else {
+					for j := range accs[t] {
+						accs[t][j] = alu(p.MergeOp, accs[t][j], src[j])
+					}
+				}
+				threadCycles[t] += m.cycLocalAcc
+			}
+		}
+	}
 }
 
 // Stats returns a snapshot of the counters.
@@ -121,83 +244,199 @@ func alu(op AluOp, a, b float32) float32 {
 	}
 }
 
-// exec runs one macro instruction on thread t, returning its cycles.
-func (m *Machine) exec(t int, in Instr) (int, error) {
+// exec runs one macro instruction on thread t (cycle costs are charged
+// by the caller from the precomputed tables).
+func (m *Machine) exec(t int, in *Instr) error {
 	th := m.scratch[t]
-	m.stats.Instructions++
 	switch in.Kind {
 	case KEW:
-		if in.A.Len <= 0 || (!in.Op.IsUnary() && in.B.Len <= 0) {
-			return 0, fmt.Errorf("engine: EW with empty source: %v", in)
+		// The specialized loops below are wall-clock fast paths only:
+		// they perform the identical float32 operations in the identical
+		// order as the generic modulo-broadcast loop (per-iteration
+		// loads are kept so overlapping slots behave exactly the same),
+		// so results and cycle counts are bit-identical.
+		unary := in.Op.IsUnary()
+		if in.A.Len <= 0 || (!unary && in.B.Len <= 0) {
+			return fmt.Errorf("engine: EW with empty source: %v", in)
 		}
-		for i := 0; i < in.Dst.Len; i++ {
-			a := th[in.A.Base+i%in.A.Len]
-			var b float32
-			if !in.Op.IsUnary() {
-				b = th[in.B.Base+i%in.B.Len]
+		dst := th[in.Dst.Base : in.Dst.Base+in.Dst.Len]
+		switch {
+		case unary && in.A.Len >= in.Dst.Len:
+			a := th[in.A.Base:]
+			switch in.Op {
+			case AMov:
+				for i := range dst {
+					dst[i] = a[i]
+				}
+			case ASquare:
+				for i := range dst {
+					dst[i] = a[i] * a[i]
+				}
+			default:
+				for i := range dst {
+					dst[i] = alu(in.Op, a[i], 0)
+				}
 			}
-			th[in.Dst.Base+i] = alu(in.Op, a, b)
+		case unary:
+			for i := range dst {
+				dst[i] = alu(in.Op, th[in.A.Base+i%in.A.Len], 0)
+			}
+		case in.A.Len >= in.Dst.Len && in.B.Len >= in.Dst.Len:
+			a, b := th[in.A.Base:], th[in.B.Base:]
+			switch in.Op {
+			case AAdd:
+				for i := range dst {
+					dst[i] = a[i] + b[i]
+				}
+			case ASub:
+				for i := range dst {
+					dst[i] = a[i] - b[i]
+				}
+			case AMul:
+				for i := range dst {
+					dst[i] = a[i] * b[i]
+				}
+			case ADiv:
+				for i := range dst {
+					dst[i] = a[i] / b[i]
+				}
+			default:
+				for i := range dst {
+					dst[i] = alu(in.Op, a[i], b[i])
+				}
+			}
+		case in.A.Len >= in.Dst.Len && in.B.Len == 1:
+			a, b := th[in.A.Base:], th[in.B.Base:]
+			switch in.Op {
+			case AAdd:
+				for i := range dst {
+					dst[i] = a[i] + b[0]
+				}
+			case ASub:
+				for i := range dst {
+					dst[i] = a[i] - b[0]
+				}
+			case AMul:
+				for i := range dst {
+					dst[i] = a[i] * b[0]
+				}
+			case ADiv:
+				for i := range dst {
+					dst[i] = a[i] / b[0]
+				}
+			default:
+				for i := range dst {
+					dst[i] = alu(in.Op, a[i], b[0])
+				}
+			}
+		case in.A.Len == 1 && in.B.Len >= in.Dst.Len:
+			a, b := th[in.A.Base:], th[in.B.Base:]
+			switch in.Op {
+			case AAdd:
+				for i := range dst {
+					dst[i] = a[0] + b[i]
+				}
+			case ASub:
+				for i := range dst {
+					dst[i] = a[0] - b[i]
+				}
+			case AMul:
+				for i := range dst {
+					dst[i] = a[0] * b[i]
+				}
+			case ADiv:
+				for i := range dst {
+					dst[i] = a[0] / b[i]
+				}
+			default:
+				for i := range dst {
+					dst[i] = alu(in.Op, a[0], b[i])
+				}
+			}
+		default:
+			for i := range dst {
+				dst[i] = alu(in.Op, th[in.A.Base+i%in.A.Len], th[in.B.Base+i%in.B.Len])
+			}
 		}
-		return instrCycles(in, m.Cfg), nil
+		return nil
 	case KReduce:
 		for g := 0; g < in.Dst.Len; g++ {
+			base := in.A.Base + g*in.GStride
 			var acc float32
-			for e := 0; e < in.GroupSize; e++ {
-				v := th[in.A.Base+g*in.GStride+e*in.EStride]
-				if e == 0 {
-					acc = v
-				} else {
-					acc = alu(in.Op, acc, v)
+			if in.Op == AAdd && in.GroupSize > 0 {
+				acc = th[base]
+				for e, idx := 1, base; e < in.GroupSize; e++ {
+					idx += in.EStride
+					acc = acc + th[idx]
+				}
+			} else {
+				for e := 0; e < in.GroupSize; e++ {
+					v := th[base+e*in.EStride]
+					if e == 0 {
+						acc = v
+					} else {
+						acc = alu(in.Op, acc, v)
+					}
 				}
 			}
 			th[in.Dst.Base+g] = acc
 		}
-		return instrCycles(in, m.Cfg), nil
+		return nil
 	case KGather:
 		idx := int(math.Round(float64(th[in.A.Base])))
 		rows := m.Prog.ModelSlot.Len / in.RowLen
 		if idx < 0 || idx >= rows {
-			return 0, fmt.Errorf("engine: gather row %d outside model of %d rows", idx, rows)
+			return fmt.Errorf("engine: gather row %d outside model of %d rows", idx, rows)
 		}
 		src := m.Prog.ModelSlot.Base + idx*in.RowLen
 		copy(th[in.Dst.Base:in.Dst.Base+in.RowLen], th[src:src+in.RowLen])
-		return instrCycles(in, m.Cfg), nil
+		return nil
 	case KScatter:
 		idx := int(math.Round(float64(th[in.B.Base])))
 		rows := m.Prog.ModelSlot.Len / in.RowLen
 		if idx < 0 || idx >= rows {
-			return 0, fmt.Errorf("engine: scatter row %d outside model of %d rows", idx, rows)
+			return fmt.Errorf("engine: scatter row %d outside model of %d rows", idx, rows)
 		}
 		dst := m.Prog.ModelSlot.Base + idx*in.RowLen
 		copy(th[dst:dst+in.RowLen], th[in.A.Base:in.A.Base+in.RowLen])
-		return instrCycles(in, m.Cfg), nil
+		return nil
 	default:
-		return 0, fmt.Errorf("engine: invalid instruction kind %d", in.Kind)
+		return fmt.Errorf("engine: invalid instruction kind %d", in.Kind)
 	}
 }
 
-// runList executes an instruction list on thread t, returning cycles.
-func (m *Machine) runList(t int, list []Instr) (int64, error) {
-	var cyc int64
-	for _, in := range list {
-		c, err := m.exec(t, in)
-		if err != nil {
-			return cyc, err
+// execList executes an instruction list on thread t without touching
+// any shared counters (safe from batch helper goroutines).
+func (m *Machine) execList(t int, list []Instr) error {
+	for i := range list {
+		if err := m.exec(t, &list[i]); err != nil {
+			return err
 		}
-		cyc += int64(c)
 	}
-	return cyc, nil
+	return nil
 }
 
-// loadTuple writes tuple values into thread t's input region.
-func (m *Machine) loadTuple(t int, tuple []float32) (int, error) {
+// runList executes an instruction list on thread t and counts its
+// instructions. The list's total cycle cost is static (the Machine's
+// cyc* fields); on error the caller abandons the run, so no partial
+// cycles are charged.
+func (m *Machine) runList(t int, list []Instr) error {
+	if err := m.execList(t, list); err != nil {
+		return err
+	}
+	m.stats.Instructions += int64(len(list))
+	return nil
+}
+
+// loadTuple writes tuple values into thread t's input region (the cycle
+// cost is the static m.cycLoad).
+func (m *Machine) loadTuple(t int, tuple []float32) error {
 	s := m.Prog.InputSlot
 	if len(tuple) != s.Len {
-		return 0, fmt.Errorf("engine: tuple width %d, input region %d", len(tuple), s.Len)
+		return fmt.Errorf("engine: tuple width %d, input region %d", len(tuple), s.Len)
 	}
 	copy(m.scratch[t][s.Base:s.Base+s.Len], tuple)
-	// The access engine distributes 8 values per cycle per thread FIFO.
-	return ceilDiv(s.Len, 8), nil
+	return nil
 }
 
 // RunBatch executes one merge batch. Without a merge function the batch
@@ -213,32 +452,28 @@ func (m *Machine) RunBatch(tuples [][]float32) error {
 	m.stats.Tuples += int64(len(tuples))
 
 	if !p.HasMerge() {
-		var cyc int64
+		var loadTot, compTot int64
 		for _, tup := range tuples {
-			lc, err := m.loadTuple(0, tup)
-			if err != nil {
+			if err := m.loadTuple(0, tup); err != nil {
 				return err
 			}
-			m.stats.LoadCycles += int64(lc)
-			cc, err := m.runList(0, p.PerTuple)
-			if err != nil {
+			loadTot += m.cycLoad
+			if err := m.runList(0, p.PerTuple); err != nil {
 				return err
 			}
-			rc, err := m.runList(0, p.RowUpdates)
-			if err != nil {
+			if err := m.runList(0, p.RowUpdates); err != nil {
 				return err
 			}
-			m.stats.ComputeCycles += cc + rc
-			cyc += int64(lc) + cc + rc
+			compTot += m.cycPerTuple + m.cycRowUpdates
 			if p.UpdatedSlot.Len > 0 {
 				copy(m.scratch[0][p.ModelSlot.Base:p.ModelSlot.Base+p.ModelSlot.Len],
 					m.scratch[0][p.UpdatedSlot.Base:p.UpdatedSlot.Base+p.UpdatedSlot.Len])
-				wb := int64(ceilDiv(p.ModelSlot.Len, m.Cfg.Lanes()))
-				m.stats.ComputeCycles += wb
-				cyc += wb
+				compTot += m.cycWriteBack
 			}
 		}
-		m.stats.Cycles += cyc
+		m.stats.LoadCycles += loadTot
+		m.stats.ComputeCycles += compTot
+		m.stats.Cycles += loadTot + compTot
 		return nil
 	}
 
@@ -246,33 +481,65 @@ func (m *Machine) RunBatch(tuples [][]float32) error {
 	if k > len(tuples) {
 		k = len(tuples)
 	}
-	accs := make([][]float32, k)
-	threadCycles := make([]int64, k)
-	for i, tup := range tuples {
-		t := i % k
-		lc, err := m.loadTuple(t, tup)
-		if err != nil {
-			return err
+	if cap(m.mergeAccs) < k {
+		m.mergeAccs = make([][]float32, k)
+	}
+	if cap(m.threadCyc) < k {
+		m.threadCyc = make([]int64, k)
+	}
+	accs := m.mergeAccs[:k]
+	threadCycles := m.threadCyc[:k]
+	for t := 0; t < k; t++ {
+		accs[t] = accs[t][:0] // empty = no tuple seen this batch
+		threadCycles[t] = 0
+	}
+	// Run the k independent model threads, fanned across host workers
+	// when configured. Every thread sees its tuples (i ≡ t mod k) in
+	// increasing order and the shared counters below are static sums, so
+	// the partitioning is invisible to results and modeled cycles.
+	n := len(tuples)
+	W := m.hostWorkers
+	// More workers than schedulable cores cannot speed up a CPU-bound
+	// loop; the handoffs would only add overhead.
+	if maxp := hostrt.GOMAXPROCS(0); W > maxp {
+		W = maxp
+	}
+	if W > k {
+		W = k
+	}
+	if W <= 1 {
+		var perr error
+		m.runPartition(tuples, k, 0, 1, &perr)
+		if perr != nil {
+			return perr
 		}
-		cc, err := m.runList(t, p.PerTuple)
-		if err != nil {
-			return err
+	} else {
+		m.ensureHelpers(W)
+		if cap(m.partErrs) < W {
+			m.partErrs = make([]error, W)
 		}
-		threadCycles[t] += int64(lc) + cc
-		m.stats.LoadCycles += int64(lc)
-		m.stats.ComputeCycles += cc
-		src := m.scratch[t][p.MergeSrc.Base : p.MergeSrc.Base+p.MergeSrc.Len]
-		if accs[t] == nil {
-			accs[t] = append([]float32(nil), src...)
-		} else {
-			for j := range accs[t] {
-				accs[t][j] = alu(p.MergeOp, accs[t][j], src[j])
+		errs := m.partErrs[:W]
+		for w := range errs {
+			errs[w] = nil
+		}
+		for w := 1; w < W; w++ {
+			m.helperCh[w-1] <- batchJob{tuples: tuples, k: k, w: w, W: W, errs: errs}
+		}
+		m.runPartition(tuples, k, 0, W, &errs[0])
+		for w := 1; w < W; w++ {
+			<-m.helperDone
+		}
+		for _, e := range errs {
+			if e != nil {
+				return e
 			}
-			lac := int64(ceilDiv(p.MergeSrc.Len, m.Cfg.Lanes()))
-			threadCycles[t] += lac
-			m.stats.ComputeCycles += lac
 		}
 	}
+	// Each of the k threads saw at least one tuple (k <= n), so n-k
+	// tuples paid the thread-local accumulate.
+	m.stats.Instructions += int64(n) * int64(len(p.PerTuple))
+	m.stats.LoadCycles += int64(n) * m.cycLoad
+	m.stats.ComputeCycles += int64(n)*m.cycPerTuple + int64(n-k)*m.cycLocalAcc
 	// Threads run in parallel: the batch takes as long as the slowest.
 	var maxT int64
 	for _, c := range threadCycles {
@@ -285,8 +552,15 @@ func (m *Machine) RunBatch(tuples [][]float32) error {
 	// Tree-bus merge: log2(k) stages over an 8-ALU bus.
 	merged := accs[0]
 	for t := 1; t < k; t++ {
-		for j := range merged {
-			merged[j] = alu(p.MergeOp, merged[j], accs[t][j])
+		if p.MergeOp == AAdd {
+			src := accs[t]
+			for j := range merged {
+				merged[j] = merged[j] + src[j]
+			}
+		} else {
+			for j := range merged {
+				merged[j] = alu(p.MergeOp, merged[j], accs[t][j])
+			}
 		}
 	}
 	mc := int64(ceilDiv(p.MergeSrc.Len, 8) * max(1, log2Ceil(k)))
@@ -298,23 +572,21 @@ func (m *Machine) RunBatch(tuples [][]float32) error {
 	copy(m.scratch[0][p.MergeDst.Base:p.MergeDst.Base+p.MergeDst.Len], merged)
 
 	// Post-merge stage on thread 0.
-	pc, err := m.runList(0, p.PostMerge)
-	if err != nil {
+	if err := m.runList(0, p.PostMerge); err != nil {
 		return err
 	}
-	rc, err := m.runList(0, p.RowUpdates)
-	if err != nil {
+	if err := m.runList(0, p.RowUpdates); err != nil {
 		return err
 	}
-	m.stats.ComputeCycles += pc + rc
-	m.stats.Cycles += pc + rc
+	m.stats.ComputeCycles += m.cycPostMerge + m.cycRowUpdates
+	m.stats.Cycles += m.cycPostMerge + m.cycRowUpdates
 
 	// Model update + broadcast to every thread over the bus.
 	if p.UpdatedSlot.Len > 0 {
 		newModel := m.scratch[0][p.UpdatedSlot.Base : p.UpdatedSlot.Base+p.UpdatedSlot.Len]
-		tmp := append([]float32(nil), newModel...)
+		m.bcast = append(m.bcast[:0], newModel...)
 		for t := 0; t < m.Cfg.Threads; t++ {
-			copy(m.scratch[t][p.ModelSlot.Base:p.ModelSlot.Base+p.ModelSlot.Len], tmp)
+			copy(m.scratch[t][p.ModelSlot.Base:p.ModelSlot.Base+p.ModelSlot.Len], m.bcast)
 		}
 		bc := int64(ceilDiv(p.ModelSlot.Len, 8))
 		m.stats.MergeCycles += bc
@@ -332,21 +604,89 @@ func (m *Machine) RunBatch(tuples [][]float32) error {
 	return nil
 }
 
-// RunEpoch processes the tuples in merge-coefficient batches.
-func (m *Machine) RunEpoch(tuples [][]float32, batchSize int) error {
+// EpochStream feeds one epoch's tuples to the machine incrementally, in
+// merge-coefficient batches, without requiring the whole epoch to be
+// materialized first. It forms exactly the batches RunEpoch would form
+// on the concatenated tuple sequence, so cycle counts and the trained
+// model are bit-identical whether tuples arrive all at once or page by
+// page while later pages are still being extracted (§5.1.1 overlap).
+type EpochStream struct {
+	m         *Machine
+	batchSize int
+	buf       [][]float32
+	arena     []float32 // value storage for buffered tuples
+}
+
+// StreamEpoch starts an epoch fed incrementally via Feed/Finish.
+func (m *Machine) StreamEpoch(batchSize int) *EpochStream {
 	if batchSize < 1 {
 		batchSize = 1
 	}
-	for i := 0; i < len(tuples); i += batchSize {
-		end := i + batchSize
-		if end > len(tuples) {
-			end = len(tuples)
+	return &EpochStream{m: m, batchSize: batchSize}
+}
+
+// Feed appends tuples to the epoch, running every batch that fills. Any
+// tuples Feed must buffer are copied by value, so the caller may reuse
+// the tuples' backing storage as soon as Feed returns.
+func (s *EpochStream) Feed(tuples [][]float32) error {
+	for len(tuples) > 0 {
+		// Fast path: no partial batch pending, run directly from the input.
+		if len(s.buf) == 0 && len(tuples) >= s.batchSize {
+			if err := s.m.RunBatch(tuples[:s.batchSize]); err != nil {
+				return err
+			}
+			tuples = tuples[s.batchSize:]
+			continue
 		}
-		if err := m.RunBatch(tuples[i:end]); err != nil {
-			return err
+		n := s.batchSize - len(s.buf)
+		if n > len(tuples) {
+			n = len(tuples)
+		}
+		for _, tup := range tuples[:n] {
+			start := len(s.arena)
+			if cap(s.arena)-start < len(tup) {
+				// Fresh block; rows already buffered keep referencing (and
+				// keep alive) the block they were copied into.
+				blk := s.batchSize * len(tup)
+				if blk < 1024 {
+					blk = 1024
+				}
+				s.arena = make([]float32, 0, blk)
+				start = 0
+			}
+			s.arena = append(s.arena, tup...)
+			s.buf = append(s.buf, s.arena[start:len(s.arena):len(s.arena)])
+		}
+		tuples = tuples[n:]
+		if len(s.buf) == s.batchSize {
+			if err := s.m.RunBatch(s.buf); err != nil {
+				return err
+			}
+			s.buf = s.buf[:0]
+			s.arena = s.arena[:0]
 		}
 	}
 	return nil
+}
+
+// Finish runs the trailing partial batch, ending the epoch.
+func (s *EpochStream) Finish() error {
+	if len(s.buf) == 0 {
+		return nil
+	}
+	err := s.m.RunBatch(s.buf)
+	s.buf = s.buf[:0]
+	s.arena = s.arena[:0]
+	return err
+}
+
+// RunEpoch processes the tuples in merge-coefficient batches.
+func (m *Machine) RunEpoch(tuples [][]float32, batchSize int) error {
+	s := m.StreamEpoch(batchSize)
+	if err := s.Feed(tuples); err != nil {
+		return err
+	}
+	return s.Finish()
 }
 
 // Converged evaluates the convergence program (thread 0).
@@ -355,12 +695,11 @@ func (m *Machine) Converged() (bool, error) {
 	if p.ConvSlot.Len == 0 {
 		return false, nil
 	}
-	cyc, err := m.runList(0, p.Convergence)
-	if err != nil {
+	if err := m.runList(0, p.Convergence); err != nil {
 		return false, err
 	}
-	m.stats.ComputeCycles += cyc
-	m.stats.Cycles += cyc
+	m.stats.ComputeCycles += m.cycConvergence
+	m.stats.Cycles += m.cycConvergence
 	return m.scratch[0][p.ConvSlot.Base] > 0.5, nil
 }
 

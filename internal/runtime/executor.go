@@ -1,0 +1,343 @@
+package runtime
+
+// Host-parallel pipelined epoch executor (paper §5.1.1).
+//
+// The modeled hardware always overlaps Strider page extraction with
+// execution-engine compute; this file makes the *simulator* do the same
+// on real cores. Each training epoch streams pages through three
+// overlapping stages:
+//
+//	pool Pin -> Strider VM walk + deformat (W workers)  -> engine compute
+//	                (bounded per-worker channels)          (coordinator)
+//
+// Worker w owns Strider VM w and processes pages pn ≡ w (mod W) in
+// increasing order; the coordinator round-robins over the workers'
+// output channels, which restores global page order. All modeled
+// counters (access-engine cycles, engine cycles, simulated seconds) are
+// charged by the coordinator in page order, so they are bit-identical
+// to the serial path no matter how the host schedules the workers —
+// parallelism changes wall-clock time only.
+//
+// A cross-epoch record cache completes the picture: once a relation's
+// pages have been extracted (and the relation fits in the buffer pool,
+// so later epochs would be pure pool hits with no modeled I/O), epochs
+// ≥ 2 replay the cached flat-arena records and their per-page cycle
+// counters instead of re-walking every heap page in the Go interpreter.
+// The cache is invalidated by any heap mutation (storage.Relation
+// generation counter) and by pool invalidation (DropCaches / DROP
+// TABLE), so cold-cache experiments still re-read and re-charge disk.
+
+import (
+	hostrt "runtime"
+	"sync"
+
+	"dana/internal/accessengine"
+	"dana/internal/engine"
+	"dana/internal/storage"
+)
+
+// defaultPipelineDepth is the per-worker bound on extracted-but-unconsumed
+// page batches, keeping memory bounded for large tables.
+const defaultPipelineDepth = 4
+
+// recordCache holds extracted records per relation, keyed by name and
+// validated against the relation's mutation generation, its identity,
+// and the buffer pool's invalidation count.
+type recordCache struct {
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+}
+
+type cacheEntry struct {
+	rel     *storage.Relation
+	gen     uint64
+	poolGen uint64
+	pages   []accessengine.PageResult
+	rows    [][]float32 // concatenation of pages[i].Rows, in page order
+}
+
+// lookup returns the entry for rel if it is still valid: same relation
+// object, unchanged heap generation, and no pool invalidation since fill.
+func (c *recordCache) lookup(rel *storage.Relation, poolGen uint64) *cacheEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ent, ok := c.entries[rel.Name]
+	if !ok || ent.rel != rel || ent.gen != rel.Generation() || ent.poolGen != poolGen {
+		return nil
+	}
+	return ent
+}
+
+func (c *recordCache) store(ent *cacheEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.entries == nil {
+		c.entries = make(map[string]*cacheEntry)
+	}
+	c.entries[ent.rel.Name] = ent
+}
+
+func (c *recordCache) clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = nil
+}
+
+// epochRunner executes training epochs for one Train call.
+type epochRunner struct {
+	s     *System
+	ae    *accessengine.Engine
+	rel   *storage.Relation
+	m     *engine.Machine
+	batch int
+
+	// fits: the whole relation fits in the buffer pool, so page access
+	// order cannot change eviction behavior — the precondition for both
+	// out-of-order pinning (parallel workers) and the record cache
+	// (epochs ≥ 2 would be pure pool hits, i.e. no modeled I/O).
+	fits    bool
+	workers int
+	depth   int
+	cacheOK bool
+}
+
+func (s *System) newEpochRunner(ae *accessengine.Engine, rel *storage.Relation, m *engine.Machine, batch int) *epochRunner {
+	fits := rel.NumPages() <= s.DB.Pool.NumFrames()
+	workers := s.Opts.Workers
+	if workers <= 0 {
+		workers = hostrt.GOMAXPROCS(0)
+	}
+	if workers > ae.NumStriders {
+		workers = ae.NumStriders
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	// The engine-side batch fan-out never touches the buffer pool, so it
+	// follows the configured worker count even when extraction must stay
+	// serial below.
+	m.SetHostWorkers(workers)
+	if !fits {
+		// Larger-than-pool tables keep the serial pin order so clock-sweep
+		// eviction (and therefore modeled I/O) stays deterministic.
+		workers = 1
+	}
+	depth := s.Opts.PipelineDepth
+	if depth <= 0 {
+		depth = defaultPipelineDepth
+	}
+	return &epochRunner{
+		s: s, ae: ae, rel: rel, m: m, batch: batch,
+		fits:    fits,
+		workers: workers,
+		depth:   depth,
+		cacheOK: fits && !s.Opts.NoExtractCache,
+	}
+}
+
+// runEpoch extracts every page of the relation and runs the engine over
+// the tuples, overlapping the two when workers > 1. Cached epochs skip
+// the buffer pool and Strider walk entirely, replaying the identical
+// modeled counters.
+func (r *epochRunner) runEpoch() error {
+	if r.cacheOK {
+		if ent := r.s.cache.lookup(r.rel, r.s.DB.Pool.InvalidationCount()); ent != nil {
+			return r.replay(ent)
+		}
+	}
+	return r.extractEpoch()
+}
+
+// replay charges the cached per-page counters (in page order, preserving
+// the group-max cycle model) and feeds the cached records to the engine.
+func (r *epochRunner) replay(ent *cacheEntry) error {
+	col := r.ae.NewCollector()
+	for i := range ent.pages {
+		col.Add(&ent.pages[i])
+	}
+	col.Flush()
+	return r.m.RunEpoch(ent.rows, r.batch)
+}
+
+func (r *epochRunner) extractEpoch() error {
+	stream := r.m.StreamEpoch(r.batch)
+	col := r.ae.NewCollector()
+	var ent *cacheEntry
+	if r.cacheOK {
+		ent = &cacheEntry{
+			rel:     r.rel,
+			gen:     r.rel.Generation(),
+			poolGen: r.s.DB.Pool.InvalidationCount(),
+			pages:   make([]accessengine.PageResult, 0, r.rel.NumPages()),
+		}
+	}
+	// sink consumes extracted pages in page order on the coordinator
+	// goroutine: modeled stats, engine compute, and cache fill.
+	sink := func(res *accessengine.PageResult) error {
+		col.Add(res)
+		if err := stream.Feed(res.Rows); err != nil {
+			return err
+		}
+		if ent != nil {
+			ent.pages = append(ent.pages, *res)
+			ent.rows = append(ent.rows, res.Rows...)
+		}
+		return nil
+	}
+	// When the cache is not retaining results, page buffers (arena +
+	// row views) are recycled across pages instead of reallocated —
+	// EpochStream copies anything it buffers, so a consumed PageResult
+	// is immediately reusable.
+	reuse := ent == nil
+	var err error
+	if r.workers > 1 {
+		err = r.extractParallel(sink, reuse)
+	} else {
+		err = r.extractSerial(sink, reuse)
+	}
+	if err != nil {
+		return err
+	}
+	col.Flush()
+	if err := stream.Finish(); err != nil {
+		return err
+	}
+	if ent != nil {
+		r.s.cache.store(ent)
+	}
+	return nil
+}
+
+// extractSerial pins pages in groups of NumStriders (modeling the page
+// buffers, and matching the pre-parallel executor's pool access order
+// exactly) and extracts them one Strider VM at a time.
+func (r *epochRunner) extractSerial(sink func(*accessengine.PageResult) error, reuse bool) error {
+	n := r.rel.NumPages()
+	group := make([]storage.Page, 0, r.ae.NumStriders)
+	pinned := make([]uint32, 0, r.ae.NumStriders)
+	var shared accessengine.PageResult
+	flush := func() error {
+		for i, pg := range group {
+			res := &accessengine.PageResult{PageNo: int(pinned[i])}
+			if reuse {
+				res = &shared
+				res.PageNo = int(pinned[i])
+			}
+			if err := r.ae.ExtractPage(i, pg, res); err != nil {
+				return err
+			}
+			if err := sink(res); err != nil {
+				return err
+			}
+		}
+		for _, pn := range pinned {
+			if err := r.s.DB.Pool.Unpin(r.rel.Name, pn); err != nil {
+				return err
+			}
+		}
+		group = group[:0]
+		pinned = pinned[:0]
+		return nil
+	}
+	for pn := 0; pn < n; pn++ {
+		pg, err := r.s.DB.Pool.Pin(r.rel.Name, uint32(pn))
+		if err != nil {
+			return err
+		}
+		group = append(group, pg)
+		pinned = append(pinned, uint32(pn))
+		if len(group) == r.ae.NumStriders {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	return flush()
+}
+
+// extractParallel fans pages out to r.workers goroutines (worker w owns
+// Strider VM w and pages pn ≡ w mod W) and delivers results to the sink
+// in page order by round-robining over the per-worker channels. Channel
+// capacity bounds the number of in-flight page batches.
+func (r *epochRunner) extractParallel(sink func(*accessengine.PageResult) error, reuse bool) error {
+	n := r.rel.NumPages()
+	w := r.workers
+	outs := make([]chan *accessengine.PageResult, w)
+	errCh := make(chan error, w)
+	done := make(chan struct{})
+	// When results are not retained by the cache, consumed PageResults
+	// circulate back to the workers through a shared free list, bounding
+	// allocation to the number of in-flight pages.
+	var free chan *accessengine.PageResult
+	if reuse {
+		free = make(chan *accessengine.PageResult, w*(r.depth+2))
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		outs[i] = make(chan *accessengine.PageResult, r.depth)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer close(outs[i])
+			for pn := i; pn < n; pn += w {
+				pg, err := r.s.DB.Pool.Pin(r.rel.Name, uint32(pn))
+				if err != nil {
+					errCh <- err
+					return
+				}
+				var res *accessengine.PageResult
+				if reuse {
+					select {
+					case res = <-free:
+					default:
+						res = new(accessengine.PageResult)
+					}
+				} else {
+					res = new(accessengine.PageResult)
+				}
+				res.PageNo = pn
+				err = r.ae.ExtractPage(i, pg, res)
+				// The arena holds copies of the tuple values, so the frame
+				// can be released before the engine consumes the batch.
+				if uerr := r.s.DB.Pool.Unpin(r.rel.Name, uint32(pn)); err == nil {
+					err = uerr
+				}
+				if err != nil {
+					errCh <- err
+					return
+				}
+				select {
+				case outs[i] <- res:
+				case <-done:
+					return
+				}
+			}
+		}(i)
+	}
+	var err error
+	for pn := 0; pn < n && err == nil; pn++ {
+		res, ok := <-outs[pn%w]
+		if !ok {
+			err = <-errCh
+			break
+		}
+		err = sink(res)
+		if reuse && err == nil {
+			select {
+			case free <- res:
+			default:
+			}
+		}
+	}
+	close(done)
+	wg.Wait()
+	if err != nil {
+		return err
+	}
+	select {
+	case werr := <-errCh:
+		return werr
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,198 @@
+package runtime
+
+import (
+	"math"
+	hostrt "runtime"
+	"testing"
+
+	"dana/internal/storage"
+)
+
+// trainConfigured runs one full Train of a workload under the given
+// executor configuration and returns the result.
+func trainConfigured(t *testing.T, workload string, scale float64, mergeCoef, epochs, workers int, noCache bool) *TrainResult {
+	t.Helper()
+	opts := DefaultOptions()
+	opts.PageSize = storage.PageSize8K
+	opts.PoolBytes = 32 << 20
+	opts.MaxEpochs = epochs
+	opts.Workers = workers
+	opts.NoExtractCache = noCache
+	s := New(opts)
+	d := deployScaled(t, s, workload, scale)
+	a, err := d.DSLAlgo(mergeCoef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.SetEpochs(epochs)
+	if _, err := s.Register(a, mergeCoef, d.Tuples); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Train(a.Name, d.Rel.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Pool().PinnedCount() != 0 {
+		t.Fatalf("%s workers=%d: leaked page pins", workload, workers)
+	}
+	return res
+}
+
+// TestParallelExecutorDeterminism: the concurrent pipelined executor
+// (and the record cache) must change host wall-clock only. Model bits,
+// epoch counts, modeled cycle stats, and simulated seconds are
+// bit-identical to the serial, uncached path on LR, SVM, and LRMF.
+func TestParallelExecutorDeterminism(t *testing.T) {
+	// Give the scheduler real parallelism even on small CI hosts so the
+	// worker pool and the engine batch fan-out actually run concurrently
+	// (particularly under -race).
+	defer hostrt.GOMAXPROCS(hostrt.GOMAXPROCS(4))
+	cases := []struct {
+		workload  string
+		scale     float64
+		mergeCoef int
+		epochs    int
+	}{
+		{"Remote Sensing LR", 0.002, 16, 4},
+		{"Remote Sensing SVM", 0.002, 16, 4},
+		{"Netflix", 0.0005, 1, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.workload, func(t *testing.T) {
+			serial := trainConfigured(t, tc.workload, tc.scale, tc.mergeCoef, tc.epochs, 1, true)
+			configs := []struct {
+				name    string
+				workers int
+				noCache bool
+			}{
+				{"parallel8+cache", 8, false},
+				{"parallel4-nocache", 4, true},
+				{"serial+cache", 1, false},
+			}
+			for _, cfg := range configs {
+				got := trainConfigured(t, tc.workload, tc.scale, tc.mergeCoef, tc.epochs, cfg.workers, cfg.noCache)
+				if got.Epochs != serial.Epochs {
+					t.Errorf("%s: epochs %d != serial %d", cfg.name, got.Epochs, serial.Epochs)
+				}
+				if len(got.Model) != len(serial.Model) {
+					t.Fatalf("%s: model size %d != %d", cfg.name, len(got.Model), len(serial.Model))
+				}
+				for i := range got.Model {
+					if math.Float32bits(got.Model[i]) != math.Float32bits(serial.Model[i]) {
+						t.Fatalf("%s: model[%d] = %v != serial %v (not bit-identical)",
+							cfg.name, i, got.Model[i], serial.Model[i])
+					}
+				}
+				if got.Engine != serial.Engine {
+					t.Errorf("%s: engine stats %+v != serial %+v", cfg.name, got.Engine, serial.Engine)
+				}
+				if got.Access != serial.Access {
+					t.Errorf("%s: access stats %+v != serial %+v", cfg.name, got.Access, serial.Access)
+				}
+				if got.SimulatedSeconds != serial.SimulatedSeconds {
+					t.Errorf("%s: simulated %v != serial %v", cfg.name, got.SimulatedSeconds, serial.SimulatedSeconds)
+				}
+			}
+		})
+	}
+}
+
+// TestExtractCacheSkipsPoolAndInvalidates: epochs >= 2 of a cached run
+// must bypass the buffer pool entirely; DropCaches must force full
+// re-extraction (with re-charged disk reads), and a heap mutation must
+// invalidate the cached records.
+func TestExtractCacheSkipsPoolAndInvalidates(t *testing.T) {
+	opts := DefaultOptions()
+	opts.PageSize = storage.PageSize8K
+	opts.PoolBytes = 32 << 20
+	opts.MaxEpochs = 3
+	opts.Workers = 4
+	s := New(opts)
+	d := deployScaled(t, s, "Remote Sensing LR", 0.002)
+	a, err := d.DSLAlgo(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.SetEpochs(3)
+	if _, err := s.Register(a, 16, d.Tuples); err != nil {
+		t.Fatal(err)
+	}
+
+	// Cold run: epoch 1 reads from disk and fills the cache; epochs 2-3
+	// replay it, so the pool sees each page exactly once.
+	cold, err := s.Train(a.Name, d.Rel.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Pool.Misses != int64(d.Rel.NumPages()) {
+		t.Errorf("cold run: %d misses, want one per page (%d)", cold.Pool.Misses, d.Rel.NumPages())
+	}
+	if cold.Pool.Hits != 0 {
+		t.Errorf("cold run: %d pool hits; cached epochs should bypass the pool", cold.Pool.Hits)
+	}
+
+	// A second Train replays the cache: no pool traffic at all.
+	s.Pool().ResetStats()
+	warm, err := s.Train(a.Name, d.Rel.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Pool.Hits != 0 || warm.Pool.Misses != 0 {
+		t.Errorf("cached run touched the pool: %+v", warm.Pool)
+	}
+	if warm.SimulatedSeconds >= cold.SimulatedSeconds {
+		t.Errorf("cached run simulated %v not below cold %v", warm.SimulatedSeconds, cold.SimulatedSeconds)
+	}
+
+	// DropCaches: the next run must re-read every page from disk.
+	if err := s.DropCaches(); err != nil {
+		t.Fatal(err)
+	}
+	s.Pool().ResetStats()
+	recold, err := s.Train(a.Name, d.Rel.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recold.Pool.Misses != int64(d.Rel.NumPages()) {
+		t.Errorf("post-DropCaches run: %d misses, want %d", recold.Pool.Misses, d.Rel.NumPages())
+	}
+	if recold.Pool.IOSeconds <= 0 {
+		t.Error("post-DropCaches run charged no disk time")
+	}
+
+	// Heap mutation: the generation check must reject the cached records.
+	if ent := s.cache.lookup(d.Rel, s.DB.Pool.InvalidationCount()); ent == nil {
+		t.Fatal("cache entry missing after re-extraction")
+	}
+	if _, err := d.Rel.Insert(make([]float64, d.Rel.Schema.NumCols())); err != nil {
+		t.Fatal(err)
+	}
+	if ent := s.cache.lookup(d.Rel, s.DB.Pool.InvalidationCount()); ent != nil {
+		t.Error("cache entry survived a heap mutation")
+	}
+
+	// Pool invalidation outside DropCaches (e.g. DROP TABLE) also
+	// invalidates via the pool's invalidation counter.
+	s2 := New(opts)
+	d2 := deployScaled(t, s2, "Patient", 0.01)
+	a2, err := d2.DSLAlgo(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2.SetEpochs(2)
+	if _, err := s2.Register(a2, 8, d2.Tuples); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Train(a2.Name, d2.Rel.Name); err != nil {
+		t.Fatal(err)
+	}
+	if ent := s2.cache.lookup(d2.Rel, s2.DB.Pool.InvalidationCount()); ent == nil {
+		t.Fatal("cache not filled")
+	}
+	if err := s2.DB.Pool.Invalidate(); err != nil {
+		t.Fatal(err)
+	}
+	if ent := s2.cache.lookup(d2.Rel, s2.DB.Pool.InvalidationCount()); ent != nil {
+		t.Error("cache entry survived direct pool invalidation")
+	}
+}

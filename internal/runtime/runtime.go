@@ -34,6 +34,18 @@ type Options struct {
 	// MaxEpochs caps functional training regardless of the UDF's epoch
 	// budget (0 = use the UDF's).
 	MaxEpochs int
+
+	// Workers sets the host goroutines that run Strider VMs during
+	// extraction (0 = GOMAXPROCS, capped at the design's Strider count;
+	// 1 = serial). Parallelism affects wall-clock time only: modeled
+	// cycle counts are charged in page order and stay bit-identical.
+	Workers int
+	// PipelineDepth bounds the extracted-but-unconsumed page batches per
+	// worker (0 = default), bounding memory for large tables.
+	PipelineDepth int
+	// NoExtractCache disables the cross-epoch extracted-record cache, so
+	// every epoch re-walks the heap pages through the Striders.
+	NoExtractCache bool
 }
 
 // DefaultOptions mirrors the paper's default setup: 32 KB pages, 8 GB
@@ -54,6 +66,8 @@ func DefaultOptions() Options {
 type System struct {
 	Opts Options
 	DB   *sql.DB
+
+	cache recordCache // cross-epoch extracted-record cache
 }
 
 // New creates the system and installs it as the SQL executor's UDF
@@ -85,8 +99,18 @@ func (s *System) WarmTable(table string) error {
 	return s.DB.Pool.Warm(table)
 }
 
-// DropCaches empties the buffer pool (the cold-cache setting).
-func (s *System) DropCaches() error { return s.DB.Pool.Invalidate() }
+// DropCaches empties the buffer pool and the extracted-record cache
+// (the cold-cache setting): the next epoch re-reads every page from the
+// simulated disk. Pool invalidations that bypass this method (e.g. DROP
+// TABLE inside the SQL layer) still invalidate the record cache via the
+// pool's invalidation counter.
+func (s *System) DropCaches() error {
+	if err := s.DB.Pool.Invalidate(); err != nil {
+		return err
+	}
+	s.cache.clear()
+	return nil
+}
 
 // Deploy attaches a generated dataset's relation to the catalog and
 // buffer pool.
@@ -169,19 +193,15 @@ func (s *System) Train(udfName, table string) (*TrainResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	acc, ok := s.DB.Cat.Accelerator(udfName)
-	if !ok {
-		rel, err := s.DB.Cat.Table(table)
-		if err != nil {
-			return nil, err
-		}
-		if acc, err = s.buildAccelerator(udf, 0, rel.NumTuples()); err != nil {
-			return nil, err
-		}
-	}
 	rel, err := s.DB.Cat.Table(table)
 	if err != nil {
 		return nil, err
+	}
+	acc, ok := s.DB.Cat.Accelerator(udfName)
+	if !ok {
+		if acc, err = s.buildAccelerator(udf, 0, rel.NumTuples()); err != nil {
+			return nil, err
+		}
 	}
 	if got, want := rel.Schema.NumCols(), udf.Graph.TupleWidth(); got != want {
 		return nil, fmt.Errorf("runtime: table %q has %d columns, UDF %q consumes %d", table, got, udfName, want)
@@ -202,6 +222,7 @@ func (s *System) Train(udfName, table string) (*TrainResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer machine.Close() // releases batch fan-out helpers, if any
 	// LRMF-style factor models cannot start at zero (a stationary
 	// point); seed them with the same small uniform initialization the
 	// reference implementation uses.
@@ -226,12 +247,9 @@ func (s *System) Train(udfName, table string) (*TrainResult, error) {
 		epochs = s.Opts.MaxEpochs
 	}
 	res := &TrainResult{UDF: udfName, Table: table, Design: acc.Design}
+	runner := s.newEpochRunner(ae, rel, machine, udf.Graph.MergeCoef)
 	for e := 0; e < epochs; e++ {
-		records, err := s.extractEpoch(ae, rel)
-		if err != nil {
-			return nil, err
-		}
-		if err := machine.RunEpoch(records, udf.Graph.MergeCoef); err != nil {
+		if err := runner.runEpoch(); err != nil {
 			return nil, err
 		}
 		res.Epochs++
@@ -269,51 +287,6 @@ func nz(v float64) float64 {
 		return 1
 	}
 	return v
-}
-
-// extractEpoch streams every page of the relation through the Striders,
-// returning the extracted tuple records. Pages are pinned in groups of
-// the Strider count, modeling the page buffers.
-func (s *System) extractEpoch(ae *accessengine.Engine, rel *storage.Relation) ([][]float32, error) {
-	var all [][]float32
-	n := rel.NumPages()
-	group := make([]storage.Page, 0, ae.NumStriders)
-	pinned := make([]uint32, 0, ae.NumStriders)
-	flush := func() error {
-		if len(group) == 0 {
-			return nil
-		}
-		recs, err := ae.ProcessPages(group)
-		if err != nil {
-			return err
-		}
-		all = append(all, recs...)
-		for _, pn := range pinned {
-			if err := s.DB.Pool.Unpin(rel.Name, pn); err != nil {
-				return err
-			}
-		}
-		group = group[:0]
-		pinned = pinned[:0]
-		return nil
-	}
-	for pn := 0; pn < n; pn++ {
-		pg, err := s.DB.Pool.Pin(rel.Name, uint32(pn))
-		if err != nil {
-			return nil, err
-		}
-		group = append(group, pg)
-		pinned = append(pinned, uint32(pn))
-		if len(group) == ae.NumStriders {
-			if err := flush(); err != nil {
-				return nil, err
-			}
-		}
-	}
-	if err := flush(); err != nil {
-		return nil, err
-	}
-	return all, nil
 }
 
 // RunUDF implements sql.UDFRunner: training results surface as a result

@@ -17,6 +17,7 @@ type Relation struct {
 	pages   []Page
 	ntup    int
 	nextXID uint32
+	gen     uint64
 }
 
 // NewRelation creates an empty heap relation with the given page size.
@@ -39,6 +40,16 @@ func (r *Relation) NumTuples() int {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	return r.ntup
+}
+
+// Generation returns a counter that advances on every heap mutation
+// (insert, delete, vacuum). Caches of derived page contents — e.g. the
+// access engine's extracted-record cache — compare generations to detect
+// staleness without rescanning the heap.
+func (r *Relation) Generation() uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.gen
 }
 
 // SizeBytes returns the total heap size in bytes.
@@ -109,6 +120,7 @@ func (r *Relation) insertLocked(vals []float64) (TID, error) {
 	}
 	r.nextXID++
 	r.ntup++
+	r.gen++
 	return tid, nil
 }
 
@@ -198,6 +210,7 @@ func (r *Relation) Delete(tid TID) error {
 		return err
 	}
 	r.ntup--
+	r.gen++
 	return nil
 }
 
@@ -211,6 +224,7 @@ func (r *Relation) Vacuum() error {
 	old := r.pages
 	r.pages = nil
 	r.ntup = 0
+	r.gen++
 	for _, p := range old {
 		for i := 0; i < p.NumItems(); i++ {
 			id, err := p.ItemID(i)
