@@ -83,21 +83,37 @@ func (it *Interp) evalNode(n *Node) ([]float64, error) {
 	}
 	switch {
 	case n.Op.IsBinary():
-		return evalBinary(n.Op, n.Args[0].Shape, argv[0], n.Args[1].Shape, argv[1], n.Shape), nil
+		return evalBinary(n.Op, n.Args[0].Shape, argv[0], n.Args[1].Shape, argv[1], n.Shape)
 	case n.Op.IsNonLinear():
 		out := make([]float64, n.Shape.Size())
-		for i, x := range argv[0] {
-			out[i] = scalarFunc(n.Op, x)
+		if len(argv[0]) < len(out) {
+			return nil, fmt.Errorf("hdfg: %v operand has %d values, shape %v needs %d", n, len(argv[0]), n.Shape, len(out))
+		}
+		for i := range out {
+			v, err := scalarFunc(n.Op, argv[0][i])
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
 		}
 		return out, nil
 	case n.Op.IsGroup():
 		return evalGroup(n.Op, n.Axis, n.Args[0].Shape, argv[0], n.Shape), nil
 	case n.Op == dsl.OpGather:
+		if it.G.Model.Shape.NDim() != 2 {
+			return nil, fmt.Errorf("hdfg: gather needs a 2-D model, have shape %v", it.G.Model.Shape)
+		}
 		cols := it.G.Model.Shape[1]
 		rows := it.G.Model.Shape[0]
+		if len(argv[1]) == 0 {
+			return nil, fmt.Errorf("hdfg: gather index operand is empty")
+		}
 		idx := int(math.Round(argv[1][0]))
 		if idx < 0 || idx >= rows {
 			return nil, fmt.Errorf("hdfg: gather index %d out of model rows [0,%d)", idx, rows)
+		}
+		if (idx+1)*cols > len(argv[0]) {
+			return nil, fmt.Errorf("hdfg: gather row %d overruns operand of %d values", idx, len(argv[0]))
 		}
 		out := make([]float64, cols)
 		copy(out, argv[0][idx*cols:(idx+1)*cols])
@@ -112,84 +128,133 @@ func (it *Interp) evalNode(n *Node) ([]float64, error) {
 	}
 }
 
-func scalarFunc(op dsl.Op, x float64) float64 {
+func scalarFunc(op dsl.Op, x float64) (float64, error) {
 	switch op {
 	case dsl.OpSigmoid:
-		return 1 / (1 + math.Exp(-x))
+		return 1 / (1 + math.Exp(-x)), nil
 	case dsl.OpGaussian:
-		return math.Exp(-x * x)
+		return math.Exp(-x * x), nil
 	case dsl.OpSqrt:
-		return math.Sqrt(x)
+		return math.Sqrt(x), nil
 	default:
-		panic("hdfg: not a scalar function")
+		return 0, fmt.Errorf("hdfg: op %v is not a scalar function", op)
 	}
 }
 
-func scalarBin(op dsl.Op, a, b float64) float64 {
+func scalarBin(op dsl.Op, a, b float64) (float64, error) {
 	switch op {
 	case dsl.OpAdd:
-		return a + b
+		return a + b, nil
 	case dsl.OpSub:
-		return a - b
+		return a - b, nil
 	case dsl.OpMul:
-		return a * b
+		return a * b, nil
 	case dsl.OpDiv:
-		return a / b
+		return a / b, nil
 	case dsl.OpLt:
 		if a < b {
-			return 1
+			return 1, nil
 		}
-		return 0
+		return 0, nil
 	case dsl.OpGt:
 		if a > b {
-			return 1
+			return 1, nil
 		}
-		return 0
+		return 0, nil
 	default:
-		panic("hdfg: not a binary op")
+		return 0, fmt.Errorf("hdfg: op %v is not a binary op", op)
 	}
 }
 
-func evalBinary(op dsl.Op, as Shape, a []float64, bs Shape, b []float64, out Shape) []float64 {
+func evalBinary(op dsl.Op, as Shape, a []float64, bs Shape, b []float64, out Shape) ([]float64, error) {
+	// Validate the op once up front so the loops below can use mustBin.
+	if _, err := scalarBin(op, 0, 1); err != nil {
+		return nil, err
+	}
+	mustBin := func(a, b float64) float64 {
+		v, _ := scalarBin(op, a, b)
+		return v
+	}
 	res := make([]float64, out.Size())
+	overrun := func(need, have int, which string) error {
+		return fmt.Errorf("hdfg: %v operand %s has %d values, broadcast needs %d", op, which, have, need)
+	}
 	switch {
 	case as.Equal(bs):
+		if len(a) < len(res) {
+			return nil, overrun(len(res), len(a), "a")
+		}
+		if len(b) < len(res) {
+			return nil, overrun(len(res), len(b), "b")
+		}
 		for i := range res {
-			res[i] = scalarBin(op, a[i], b[i])
+			res[i] = mustBin(a[i], b[i])
 		}
 	case as.NDim() == 0:
+		if len(a) == 0 {
+			return nil, overrun(1, 0, "a")
+		}
+		if len(b) < len(res) {
+			return nil, overrun(len(res), len(b), "b")
+		}
 		for i := range res {
-			res[i] = scalarBin(op, a[0], b[i])
+			res[i] = mustBin(a[0], b[i])
 		}
 	case bs.NDim() == 0:
+		if len(b) == 0 {
+			return nil, overrun(1, 0, "b")
+		}
+		if len(a) < len(res) {
+			return nil, overrun(len(res), len(a), "a")
+		}
 		for i := range res {
-			res[i] = scalarBin(op, a[i], b[0])
+			res[i] = mustBin(a[i], b[0])
 		}
 	case isSuffix(as, bs):
 		n := as.Size()
+		if n == 0 || len(a) < n {
+			return nil, overrun(n, len(a), "a")
+		}
+		if len(b) < len(res) {
+			return nil, overrun(len(res), len(b), "b")
+		}
 		for i := range res {
-			res[i] = scalarBin(op, a[i%n], b[i])
+			res[i] = mustBin(a[i%n], b[i])
 		}
 	case isSuffix(bs, as):
 		n := bs.Size()
+		if n == 0 || len(b) < n {
+			return nil, overrun(n, len(b), "b")
+		}
+		if len(a) < len(res) {
+			return nil, overrun(len(res), len(a), "a")
+		}
 		for i := range res {
-			res[i] = scalarBin(op, a[i], b[i%n])
+			res[i] = mustBin(a[i], b[i%n])
 		}
 	case as.NDim() == 2 && bs.NDim() == 2 && as[1] == bs[1]:
 		// Contraction intermediate [a0, b0, k].
 		ra, rb, k := as[0], bs[0], as[1]
+		if len(a) < ra*k {
+			return nil, overrun(ra*k, len(a), "a")
+		}
+		if len(b) < rb*k {
+			return nil, overrun(rb*k, len(b), "b")
+		}
+		if len(res) < ra*rb*k {
+			return nil, fmt.Errorf("hdfg: contraction output shape %v too small for [%d,%d,%d]", out, ra, rb, k)
+		}
 		for i := 0; i < ra; i++ {
 			for j := 0; j < rb; j++ {
 				for l := 0; l < k; l++ {
-					res[(i*rb+j)*k+l] = scalarBin(op, a[i*k+l], b[j*k+l])
+					res[(i*rb+j)*k+l] = mustBin(a[i*k+l], b[j*k+l])
 				}
 			}
 		}
-		_ = out
 	default:
-		panic(fmt.Sprintf("hdfg: unbroadcastable shapes %v, %v escaped inference", as, bs))
+		return nil, fmt.Errorf("hdfg: unbroadcastable shapes %v, %v escaped inference", as, bs)
 	}
-	return res
+	return res, nil
 }
 
 func evalGroup(op dsl.Op, axis int, as Shape, a []float64, out Shape) []float64 {
@@ -296,10 +361,19 @@ func (it *Interp) applyUpdates(stage func(*Node) bool) error {
 		if idxv == nil || valv == nil {
 			return fmt.Errorf("hdfg: row update not evaluated")
 		}
+		if g.Model.Shape.NDim() != 2 {
+			return fmt.Errorf("hdfg: row update needs a 2-D model, have shape %v", g.Model.Shape)
+		}
+		if len(idxv) == 0 {
+			return fmt.Errorf("hdfg: row update index is empty")
+		}
 		cols := g.Model.Shape[1]
 		idx := int(math.Round(idxv[0]))
 		if idx < 0 || idx >= g.Model.Shape[0] {
 			return fmt.Errorf("hdfg: row update index %d out of range", idx)
+		}
+		if len(valv) < cols {
+			return fmt.Errorf("hdfg: row update value has %d values, row needs %d", len(valv), cols)
 		}
 		copy(it.model[idx*cols:(idx+1)*cols], valv)
 	}
@@ -342,8 +416,15 @@ func (it *Interp) StepBatch(tuples [][]float64) error {
 		if i == 0 {
 			acc = append([]float64(nil), x...)
 		} else {
+			if len(x) < len(acc) {
+				return fmt.Errorf("hdfg: merged variable shrank from %d to %d values", len(acc), len(x))
+			}
 			for j := range acc {
-				acc[j] = scalarBin(g.Merge.MergeOp, acc[j], x[j])
+				v, err := scalarBin(g.Merge.MergeOp, acc[j], x[j])
+				if err != nil {
+					return fmt.Errorf("hdfg: merge: %w", err)
+				}
+				acc[j] = v
 			}
 		}
 	}

@@ -1,0 +1,116 @@
+package hdfg
+
+import (
+	"strings"
+	"testing"
+
+	"dana/internal/algos"
+	"dana/internal/dsl"
+)
+
+// These tests cover the hardened interpreter paths: graphs mutated into
+// invalid states (as a fuzzer would produce) must surface errors, not
+// panic.
+
+func TestInterpBadMergeOpErrors(t *testing.T) {
+	a, err := algos.Build(algos.KindLinear, []int{4}, algos.Hyper{LR: 0.1, MergeCoef: 2, Epochs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Translate(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Merge == nil {
+		t.Fatal("expected a merge node")
+	}
+	g.Merge.MergeOp = dsl.OpSigmoid // not a binary op
+	it, err := NewInterp(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuples := [][]float64{
+		{1, 0, 0, 0, 1},
+		{0, 1, 0, 0, 2},
+	}
+	if err := it.StepBatch(tuples); err == nil || !strings.Contains(err.Error(), "not a binary op") {
+		t.Fatalf("StepBatch = %v, want not-a-binary-op error", err)
+	}
+}
+
+func TestInterpGatherOneDimModelErrors(t *testing.T) {
+	a, err := algos.Build(algos.KindLRMF, []int{4, 3, 2}, algos.Hyper{LR: 0.05, Epochs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Translate(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it, err := NewInterp(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flatten the model shape after construction, as a corrupted graph
+	// would: gather must reject, not index out of bounds.
+	g.Model.Shape = Shape{g.ModelSize()}
+	tuple := make([]float64, g.TupleWidth())
+	if err := it.StepBatch([][]float64{tuple}); err == nil || !strings.Contains(err.Error(), "2-D model") {
+		t.Fatalf("StepBatch = %v, want 2-D-model error", err)
+	}
+}
+
+func TestInterpUnbroadcastableShapesError(t *testing.T) {
+	model := &Node{ID: 0, Op: dsl.OpLeaf, Kind: dsl.KModel, Shape: Shape{1}}
+	a := &Node{ID: 1, Op: dsl.OpLeaf, Kind: dsl.KInput, Shape: Shape{2}}
+	b := &Node{ID: 2, Op: dsl.OpLeaf, Kind: dsl.KInput, Shape: Shape{3}}
+	bad := &Node{ID: 3, Op: dsl.OpAdd, Shape: Shape{3}, Args: []*Node{a, b}}
+	g := &Graph{
+		Nodes:  []*Node{model, a, b, bad},
+		Model:  model,
+		Inputs: []*Node{a, b},
+	}
+	it, err := NewInterp(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := it.StepBatch([][]float64{{1, 2, 3, 4, 5}}); err == nil || !strings.Contains(err.Error(), "unbroadcastable") {
+		t.Fatalf("StepBatch = %v, want unbroadcastable error", err)
+	}
+}
+
+func TestInterpRowUpdateOneDimModelErrors(t *testing.T) {
+	model := &Node{ID: 0, Op: dsl.OpLeaf, Kind: dsl.KModel, Shape: Shape{4}}
+	idx := &Node{ID: 1, Op: dsl.OpLeaf, Kind: dsl.KMeta, MetaValue: 0}
+	val := &Node{ID: 2, Op: dsl.OpLeaf, Kind: dsl.KMeta, MetaValue: 1}
+	g := &Graph{
+		Nodes:      []*Node{model, idx, val},
+		Model:      model,
+		RowUpdates: []RowUpdate{{Idx: idx, Val: val}},
+	}
+	it, err := NewInterp(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := it.StepBatch([][]float64{{}}); err == nil || !strings.Contains(err.Error(), "2-D model") {
+		t.Fatalf("StepBatch = %v, want 2-D-model error", err)
+	}
+}
+
+func TestInterpShortOperandErrors(t *testing.T) {
+	// A sigmoid node whose declared shape is larger than its operand:
+	// must error instead of reading past the value slice.
+	model := &Node{ID: 0, Op: dsl.OpLeaf, Kind: dsl.KModel, Shape: Shape{2}}
+	sig := &Node{ID: 1, Op: dsl.OpSigmoid, Shape: Shape{5}, Args: []*Node{model}}
+	g := &Graph{
+		Nodes: []*Node{model, sig},
+		Model: model,
+	}
+	it, err := NewInterp(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := it.StepBatch([][]float64{{}}); err == nil {
+		t.Fatal("StepBatch accepted an undersized operand")
+	}
+}

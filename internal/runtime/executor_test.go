@@ -196,3 +196,49 @@ func TestExtractCacheSkipsPoolAndInvalidates(t *testing.T) {
 		t.Error("cache entry survived direct pool invalidation")
 	}
 }
+
+// TestWorkerSweepBitIdentity is the metamorphic serial-vs-parallel
+// check from the differential verification harness: the full worker
+// grid {1,2,4,8} x {cache,nocache} must produce bit-identical models
+// and identical modeled cycle stats to the serial uncached baseline.
+// Parallelism and caching may only change host wall-clock.
+func TestWorkerSweepBitIdentity(t *testing.T) {
+	defer hostrt.GOMAXPROCS(hostrt.GOMAXPROCS(4))
+	const (
+		workload  = "Remote Sensing LR"
+		scale     = 0.002
+		mergeCoef = 16
+		epochs    = 3
+	)
+	serial := trainConfigured(t, workload, scale, mergeCoef, epochs, 1, true)
+	for _, workers := range []int{1, 2, 4, 8} {
+		for _, noCache := range []bool{false, true} {
+			name := "cache"
+			if noCache {
+				name = "nocache"
+			}
+			got := trainConfigured(t, workload, scale, mergeCoef, epochs, workers, noCache)
+			if got.Epochs != serial.Epochs {
+				t.Errorf("workers=%d/%s: epochs %d != serial %d", workers, name, got.Epochs, serial.Epochs)
+			}
+			if len(got.Model) != len(serial.Model) {
+				t.Fatalf("workers=%d/%s: model size %d != %d", workers, name, len(got.Model), len(serial.Model))
+			}
+			for i := range got.Model {
+				if math.Float32bits(got.Model[i]) != math.Float32bits(serial.Model[i]) {
+					t.Fatalf("workers=%d/%s: model[%d] = %v != serial %v (not bit-identical)",
+						workers, name, i, got.Model[i], serial.Model[i])
+				}
+			}
+			if got.Engine != serial.Engine {
+				t.Errorf("workers=%d/%s: engine stats %+v != serial %+v", workers, name, got.Engine, serial.Engine)
+			}
+			if got.Access != serial.Access {
+				t.Errorf("workers=%d/%s: access stats %+v != serial %+v", workers, name, got.Access, serial.Access)
+			}
+			if got.SimulatedSeconds != serial.SimulatedSeconds {
+				t.Errorf("workers=%d/%s: simulated %v != serial %v", workers, name, got.SimulatedSeconds, serial.SimulatedSeconds)
+			}
+		}
+	}
+}

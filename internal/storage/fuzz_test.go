@@ -1,0 +1,142 @@
+package storage
+
+import (
+	"math/rand"
+	"testing"
+
+	"dana/internal/fuzzcorpus"
+)
+
+// pageDecodeSeeds builds the committed corpus for FuzzPageDecode: real
+// formed pages (plain, nulls, varlena tails, deletions) for both
+// layouts, truncated and whole.
+func pageDecodeSeeds(tb testing.TB) [][]byte {
+	rng := rand.New(rand.NewSource(99))
+	var seeds [][]byte
+
+	s := NumericSchema(5)
+	page := NewPage(PageSize8K, 0)
+	for i := 0; i < 6; i++ {
+		vals := make([]float64, s.NumCols())
+		for j := range vals {
+			vals[j] = float64(float32(rng.NormFloat64()))
+		}
+		raw, err := EncodeTuple(s, vals, uint32(i+2), TID{Item: uint16(i)})
+		if err != nil {
+			tb.Fatal(err)
+		}
+		if i == 4 {
+			raw, err = AppendVarlena(raw, []byte("trailing varlena datum"))
+			if err != nil {
+				tb.Fatal(err)
+			}
+		}
+		if _, err := page.AddItem(raw); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	if err := page.DeleteItem(2); err != nil {
+		tb.Fatal(err)
+	}
+	seeds = append(seeds, []byte(page[:1024]), []byte(page[:PageHeaderSize+3]))
+
+	// A page of null-bitmap tuples at a bitmap byte boundary.
+	cols := make([]Column, 9)
+	for i := range cols {
+		cols[i] = Column{Name: string(rune('a' + i)), Type: TFloat64}
+	}
+	ns := NewSchema(cols...)
+	npage := NewPage(PageSize8K, 0)
+	for i := 0; i < 3; i++ {
+		vals := make([]float64, 9)
+		nulls := make([]bool, 9)
+		nulls[i] = true
+		nulls[8-i] = true
+		raw, err := EncodeTupleWithNulls(ns, vals, nulls, 2, TID{})
+		if err != nil {
+			tb.Fatal(err)
+		}
+		if _, err := npage.AddItem(raw); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	seeds = append(seeds, []byte(npage[:1024]))
+
+	// An InnoDB page.
+	ipage := NewInnoPage(PageSize8K)
+	buf := make([]byte, s.DataWidth())
+	for i := 0; i < 4; i++ {
+		vals := make([]float64, s.NumCols())
+		for j := range vals {
+			vals[j] = float64(float32(rng.NormFloat64()))
+		}
+		if err := s.EncodeValues(buf, vals); err != nil {
+			tb.Fatal(err)
+		}
+		if err := ipage.AddRecord(buf); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	seeds = append(seeds, []byte(ipage[:512]))
+	return seeds
+}
+
+// FuzzPageDecode throws arbitrary bytes at every storage reader: page
+// validation, line pointers, tuple headers, both decode paths, varlena,
+// and the InnoDB chain walker. All must return errors on garbage, never
+// panic or over-read.
+func FuzzPageDecode(f *testing.F) {
+	for _, s := range pageDecodeSeeds(f) {
+		f.Add(s)
+	}
+	schemas := []*Schema{
+		NumericSchema(5),
+		NewSchema(
+			Column{Name: "a", Type: TInt32},
+			Column{Name: "b", Type: TFloat64},
+			Column{Name: "c", Type: TInt64},
+			Column{Name: "d", Type: TFloat32},
+		),
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		page := Page(data)
+		_ = page.Validate()
+		if len(data) >= PageHeaderSize {
+			for i := 0; i < page.NumItems(); i++ {
+				id, err := page.ItemID(i)
+				if err != nil {
+					continue
+				}
+				_ = id
+				raw, err := page.Item(i)
+				if err != nil {
+					continue
+				}
+				if m, err := DecodeTupleMeta(raw); err == nil {
+					_ = m.NAttrs()
+					_, _ = TupleData(raw)
+				}
+				for _, s := range schemas {
+					_, _ = DecodeTuple(s, nil, raw)
+					_, _, _ = DecodeTupleWithNulls(s, raw)
+				}
+			}
+		}
+		_, _, _ = DecodeVarlena(data)
+		ipage := InnoPage(data)
+		for _, w := range []int{0, 8, 40} {
+			_, _ = ipage.Records(w)
+		}
+	})
+}
+
+// TestWritePageDecodeCorpus regenerates the committed seed corpus when
+// DANA_WRITE_FUZZ_CORPUS is set.
+func TestWritePageDecodeCorpus(t *testing.T) {
+	if !fuzzcorpus.ShouldWrite() {
+		t.Skipf("set %s=1 to regenerate the corpus", fuzzcorpus.WriteEnv)
+	}
+	if err := fuzzcorpus.WriteBytes("testdata/fuzz/FuzzPageDecode", pageDecodeSeeds(t)); err != nil {
+		t.Fatal(err)
+	}
+}

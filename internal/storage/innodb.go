@@ -101,6 +101,12 @@ func (p InnoPage) AddRecord(payload []byte) error {
 // Records walks the chain and returns each record's payload slice of
 // the given width (records alias the page).
 func (p InnoPage) Records(width int) ([][]byte, error) {
+	if len(p) < InnoPageHeaderSize {
+		return nil, fmt.Errorf("%w: inno page of %d bytes smaller than header", ErrCorrupt, len(p))
+	}
+	if width < 0 {
+		return nil, fmt.Errorf("%w: negative record width %d", ErrCorrupt, width)
+	}
 	var out [][]byte
 	cur := p.FirstRecord()
 	for n := 0; cur != 0; n++ {

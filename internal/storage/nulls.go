@@ -1,0 +1,152 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Null-bitmap tuple support, mirroring PostgreSQL's HeapTupleHeaderData
+// with HEAP_HASNULL set: the 23-byte fixed header is followed by t_bits,
+// a bitmap of one bit per attribute (bit set = attribute present, bit
+// clear = NULL, PostgreSQL's att_isnull convention inverted to match
+// heap_form_tuple), and t_hoff is MAXALIGN(23 + bitmap bytes). NULL
+// attributes occupy no storage; each present attribute is aligned to its
+// type's boundary relative to the start of the data area, so decoding a
+// tuple with nulls requires the dynamic offset walk implemented here
+// rather than the schema's static offset table.
+
+// NullBitmapBytes returns the t_bits size for ncols attributes.
+func NullBitmapBytes(ncols int) int { return (ncols + 7) / 8 }
+
+// TupleHeaderSizeFor returns t_hoff for a tuple of ncols attributes:
+// without nulls it is MAXALIGN(23) = 24; with a null bitmap it is
+// MAXALIGN(23 + bitmap bytes).
+func TupleHeaderSizeFor(ncols int, hasNulls bool) int {
+	if !hasNulls {
+		return TupleHeaderSize
+	}
+	return alignUp(TupleHeaderRawSize+NullBitmapBytes(ncols), MaxAlign)
+}
+
+// hasAnyNull reports whether any entry of nulls is set.
+func hasAnyNull(nulls []bool) bool {
+	for _, n := range nulls {
+		if n {
+			return true
+		}
+	}
+	return false
+}
+
+// dataWidthWithNulls computes the byte width of the data area when the
+// NULL columns are omitted, aligning each present column.
+func dataWidthWithNulls(s *Schema, nulls []bool) int {
+	off := 0
+	for i, c := range s.Cols {
+		if nulls[i] {
+			continue
+		}
+		off = alignUp(off, c.Type.Align())
+		off += c.Type.Size()
+	}
+	return off
+}
+
+// EncodeTupleWithNulls serializes a heap tuple whose NULL columns (per
+// the nulls mask) are omitted from storage and recorded in a t_bits
+// null bitmap. vals entries for NULL columns are ignored. A nil or
+// all-false mask produces the same bytes as EncodeTuple.
+func EncodeTupleWithNulls(s *Schema, vals []float64, nulls []bool, xmin uint32, ctid TID) ([]byte, error) {
+	if nulls != nil && len(nulls) != len(s.Cols) {
+		return nil, fmt.Errorf("storage: nulls mask has %d entries, schema %d columns", len(nulls), len(s.Cols))
+	}
+	if nulls == nil || !hasAnyNull(nulls) {
+		return EncodeTuple(s, vals, xmin, ctid)
+	}
+	if len(vals) != len(s.Cols) {
+		return nil, fmt.Errorf("storage: schema has %d columns, got %d values", len(s.Cols), len(vals))
+	}
+	hoff := TupleHeaderSizeFor(s.NumCols(), true)
+	buf := make([]byte, hoff+dataWidthWithNulls(s, nulls))
+	binary.LittleEndian.PutUint32(buf[tupXminOff:], xmin)
+	binary.LittleEndian.PutUint32(buf[tupCtidBlockOff:], ctid.Page)
+	binary.LittleEndian.PutUint16(buf[tupCtidOffnum:], ctid.Item+1)
+	binary.LittleEndian.PutUint16(buf[tupInfomask2Off:], uint16(s.NumCols())&0x07FF)
+	binary.LittleEndian.PutUint16(buf[tupInfomaskOff:], InfomaskXminCommit|InfomaskXmaxInval|InfomaskHasNull)
+	buf[tupHoffOff] = uint8(hoff)
+	bits := buf[TupleHeaderRawSize : TupleHeaderRawSize+NullBitmapBytes(s.NumCols())]
+	off := hoff
+	for i, c := range s.Cols {
+		if nulls[i] {
+			continue
+		}
+		bits[i/8] |= 1 << (i % 8)
+		off = hoff + alignUp(off-hoff, c.Type.Align())
+		switch c.Type {
+		case TFloat32:
+			binary.LittleEndian.PutUint32(buf[off:], math.Float32bits(float32(vals[i])))
+		case TFloat64:
+			binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(vals[i]))
+		case TInt32:
+			binary.LittleEndian.PutUint32(buf[off:], uint32(int32(vals[i])))
+		case TInt64:
+			binary.LittleEndian.PutUint64(buf[off:], uint64(int64(vals[i])))
+		default:
+			return nil, fmt.Errorf("storage: cannot encode column %q of type %v", c.Name, c.Type)
+		}
+		off += c.Type.Size()
+	}
+	return buf, nil
+}
+
+// DecodeTupleWithNulls parses a raw heap tuple into per-column values
+// and a nulls mask. Tuples without HEAP_HASNULL decode exactly like
+// DecodeTuple; tuples with a null bitmap use the dynamic offset walk.
+// NULL columns decode as 0 with nulls[i] = true.
+func DecodeTupleWithNulls(s *Schema, raw []byte) (vals []float64, nulls []bool, err error) {
+	m, err := DecodeTupleMeta(raw)
+	if err != nil {
+		return nil, nil, err
+	}
+	nulls = make([]bool, s.NumCols())
+	if m.Infomask&InfomaskHasNull == 0 {
+		vals, err = s.DecodeValues(nil, raw[m.Hoff:])
+		return vals, nulls, err
+	}
+	if got := m.NAttrs(); got != s.NumCols() {
+		return nil, nil, fmt.Errorf("%w: tuple has %d attributes, schema %d columns", ErrCorrupt, got, s.NumCols())
+	}
+	bmBytes := NullBitmapBytes(s.NumCols())
+	if TupleHeaderRawSize+bmBytes > int(m.Hoff) || int(m.Hoff) > len(raw) {
+		return nil, nil, fmt.Errorf("%w: t_hoff %d too small for %d-column null bitmap", ErrCorrupt, m.Hoff, s.NumCols())
+	}
+	bits := raw[TupleHeaderRawSize : TupleHeaderRawSize+bmBytes]
+	vals = make([]float64, s.NumCols())
+	off := 0
+	data := raw[m.Hoff:]
+	for i, c := range s.Cols {
+		if bits[i/8]&(1<<(i%8)) == 0 {
+			nulls[i] = true
+			continue
+		}
+		off = alignUp(off, c.Type.Align())
+		if off+c.Type.Size() > len(data) {
+			return nil, nil, fmt.Errorf("%w: column %q at offset %d overruns tuple data of %d bytes", ErrCorrupt, c.Name, off, len(data))
+		}
+		switch c.Type {
+		case TFloat32:
+			vals[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(data[off:])))
+		case TFloat64:
+			vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[off:]))
+		case TInt32:
+			vals[i] = float64(int32(binary.LittleEndian.Uint32(data[off:])))
+		case TInt64:
+			vals[i] = float64(int64(binary.LittleEndian.Uint64(data[off:])))
+		default:
+			return nil, nil, fmt.Errorf("storage: cannot decode column %q of type %v", c.Name, c.Type)
+		}
+		off += c.Type.Size()
+	}
+	return vals, nulls, nil
+}

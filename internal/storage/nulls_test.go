@@ -1,0 +1,318 @@
+package storage
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// mixedSchema builds an ncols schema cycling through all four types.
+func mixedSchema(ncols int) *Schema {
+	types := []ColType{TFloat32, TFloat64, TInt32, TInt64}
+	cols := make([]Column, ncols)
+	for i := range cols {
+		cols[i] = Column{Name: string(rune('a' + i%26)), Type: types[i%len(types)]}
+	}
+	return NewSchema(cols...)
+}
+
+// quantize makes v exactly representable by the column type, so encode →
+// decode is the identity.
+func quantize(t ColType, v float64) float64 {
+	switch t {
+	case TFloat32:
+		return float64(float32(v))
+	case TInt32, TInt64:
+		return float64(int32(v * 100))
+	default:
+		return v
+	}
+}
+
+func randRow(rng *rand.Rand, s *Schema) []float64 {
+	vals := make([]float64, s.NumCols())
+	for i, c := range s.Cols {
+		vals[i] = quantize(c.Type, rng.NormFloat64()*10)
+	}
+	return vals
+}
+
+// TestNullBitmapBoundaryColumns exercises the null bitmap exactly at the
+// byte boundaries the satellite calls out: 8/9/64/65 columns (1→2 and
+// 8→9 bitmap bytes, where MAXALIGN keeps t_hoff at 24 or grows it to 32).
+func TestNullBitmapBoundaryColumns(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, ncols := range []int{1, 7, 8, 9, 40, 63, 64, 65, 128, 256} {
+		s := mixedSchema(ncols)
+		wantHoff := TupleHeaderSizeFor(ncols, true)
+		if raw := alignUp(TupleHeaderRawSize+(ncols+7)/8, MaxAlign); wantHoff != raw {
+			t.Fatalf("ncols=%d: TupleHeaderSizeFor = %d, want %d", ncols, wantHoff, raw)
+		}
+		for trial := 0; trial < 8; trial++ {
+			vals := randRow(rng, s)
+			nulls := make([]bool, ncols)
+			switch trial {
+			case 0: // no nulls through the bitmap path boundary case
+				nulls[0] = true
+			case 1: // all null
+				for i := range nulls {
+					nulls[i] = true
+				}
+			default:
+				for i := range nulls {
+					nulls[i] = rng.Intn(3) == 0
+				}
+			}
+			raw, err := EncodeTupleWithNulls(s, vals, nulls, 7, TID{Page: 1, Item: 2})
+			if err != nil {
+				t.Fatalf("ncols=%d trial=%d: %v", ncols, trial, err)
+			}
+			if hasAnyNull(nulls) {
+				m, err := DecodeTupleMeta(raw)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if int(m.Hoff) != wantHoff {
+					t.Fatalf("ncols=%d: t_hoff = %d, want %d", ncols, m.Hoff, wantHoff)
+				}
+				if m.Infomask&InfomaskHasNull == 0 {
+					t.Fatalf("ncols=%d: HEAP_HASNULL not set", ncols)
+				}
+				// The NOT NULL fast path must refuse, not misread.
+				if _, err := DecodeTuple(s, nil, raw); err == nil {
+					t.Fatalf("ncols=%d: DecodeTuple accepted a null-bitmap tuple", ncols)
+				}
+			}
+			got, gotNulls, err := DecodeTupleWithNulls(s, raw)
+			if err != nil {
+				t.Fatalf("ncols=%d trial=%d: decode: %v", ncols, trial, err)
+			}
+			for i := range vals {
+				if gotNulls[i] != nulls[i] {
+					t.Fatalf("ncols=%d col=%d: null = %v, want %v", ncols, i, gotNulls[i], nulls[i])
+				}
+				if nulls[i] {
+					if got[i] != 0 {
+						t.Fatalf("ncols=%d col=%d: NULL decoded as %v", ncols, i, got[i])
+					}
+					continue
+				}
+				if math.Float64bits(got[i]) != math.Float64bits(vals[i]) {
+					t.Fatalf("ncols=%d col=%d: %v != %v", ncols, i, got[i], vals[i])
+				}
+			}
+		}
+	}
+}
+
+// TestNullTupleMatchesPlainWhenNoNulls: an all-false mask must produce
+// byte-identical output to the static fast path.
+func TestNullTupleMatchesPlainWhenNoNulls(t *testing.T) {
+	s := mixedSchema(9)
+	rng := rand.New(rand.NewSource(3))
+	vals := randRow(rng, s)
+	plain, err := EncodeTuple(s, vals, 5, TID{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	masked, err := EncodeTupleWithNulls(s, vals, make([]bool, 9), 5, TID{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plain, masked) {
+		t.Fatal("all-false nulls mask changed tuple bytes")
+	}
+}
+
+// TestNullTuplesOnPages round-trips null-bitmap tuples through real
+// pages at all three page sizes.
+func TestNullTuplesOnPages(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, size := range []int{PageSize8K, PageSize16K, PageSize32K} {
+		s := mixedSchema(65)
+		page := NewPage(size, 0)
+		var want [][]float64
+		var wantNulls [][]bool
+		for {
+			vals := randRow(rng, s)
+			nulls := make([]bool, 65)
+			for i := range nulls {
+				nulls[i] = rng.Intn(4) == 0
+			}
+			raw, err := EncodeTupleWithNulls(s, vals, nulls, 2, TID{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := page.AddItem(raw); err != nil {
+				break // ErrPageFull
+			}
+			want = append(want, vals)
+			wantNulls = append(wantNulls, nulls)
+		}
+		if len(want) < 2 {
+			t.Fatalf("size=%d: only %d tuples fit", size, len(want))
+		}
+		if err := page.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			raw, err := page.Item(i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, gotNulls, err := DecodeTupleWithNulls(s, raw)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j := range got {
+				if gotNulls[j] != wantNulls[i][j] {
+					t.Fatalf("size=%d tuple=%d col=%d: null mismatch", size, i, j)
+				}
+				if !wantNulls[i][j] && got[j] != want[i][j] {
+					t.Fatalf("size=%d tuple=%d col=%d: %v != %v", size, i, j, got[j], want[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestVarlenaRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	sizes := []int{0, 1, 62, 63, 122, 123, 124, 1000, 70000}
+	for _, n := range sizes {
+		payload := make([]byte, n)
+		rng.Read(payload)
+		enc, err := AppendVarlena(nil, payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Short form: total (payload+1) fits in 7 bits.
+		wantShort := n+1 <= 0x7F
+		if gotShort := enc[0]&1 == 1; gotShort != wantShort {
+			t.Fatalf("n=%d: short=%v, want %v", n, gotShort, wantShort)
+		}
+		got, used, err := DecodeVarlena(enc)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if used != len(enc) || !bytes.Equal(got, payload) {
+			t.Fatalf("n=%d: round trip mismatch (used %d of %d)", n, used, len(enc))
+		}
+		// Trailing bytes after the datum must not be consumed.
+		enc2 := append(append([]byte(nil), enc...), 0xAB, 0xCD)
+		_, used2, err := DecodeVarlena(enc2)
+		if err != nil || used2 != len(enc) {
+			t.Fatalf("n=%d: with trailer used %d, err %v", n, used2, err)
+		}
+	}
+}
+
+func TestVarlenaCorruptRejected(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":            {},
+		"toast pointer":    {0x01},
+		"truncated 4-byte": {0x00, 0x01},
+		"compression bits": {0x02, 0, 0, 0},
+		"overrun short":    {0x7F, 1, 2}, // claims 63 total, has 3
+		"overrun long":     {0x00, 0x02, 0, 0},
+		"undersized long":  {0x04, 0, 0, 0}, // claims total 1 < 4
+	}
+	for name, b := range cases {
+		if _, _, err := DecodeVarlena(b); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// TestPageFillToErrPageFull fills pages of every size to ErrPageFull and
+// checks the free-space accounting never goes negative and every stored
+// tuple stays readable.
+func TestPageFillToErrPageFull(t *testing.T) {
+	s := NumericSchema(15)
+	rng := rand.New(rand.NewSource(23))
+	for _, size := range []int{PageSize8K, PageSize16K, PageSize32K} {
+		page := NewPage(size, 0)
+		n := 0
+		for {
+			vals := randRow(rng, s)
+			raw, err := EncodeTuple(s, vals, 2, TID{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := page.AddItem(raw); err != nil {
+				if !errorsIs(err, ErrPageFull) {
+					t.Fatalf("size=%d: %v", size, err)
+				}
+				break
+			}
+			n++
+			if page.FreeSpace() < 0 {
+				t.Fatalf("size=%d: negative free space", size)
+			}
+		}
+		expect := (size - PageHeaderSize) / (alignUp(TupleHeaderSize+s.DataWidth(), MaxAlign) + ItemIDSize)
+		if n != expect {
+			t.Errorf("size=%d: filled %d tuples, geometry predicts %d", size, n, expect)
+		}
+		if err := page.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			if _, err := page.Item(i); err != nil {
+				t.Fatalf("size=%d item=%d: %v", size, i, err)
+			}
+		}
+	}
+}
+
+// TestZeroLiveTuplePages: pages whose every item is dead (or redirected)
+// must scan as empty without error, at the relation level too.
+func TestZeroLiveTuplePages(t *testing.T) {
+	s := NumericSchema(3)
+	rel := NewRelation("ghosts", s, PageSize8K)
+	for i := 0; i < 10; i++ {
+		if _, err := rel.Insert([]float64{1, 2, 3, 4}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		if err := rel.Delete(TID{Page: 0, Item: uint16(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Re-point one dead slot as a redirect: scanners must skip it too.
+	pg, _ := rel.Page(0)
+	if err := pg.SetLinePointer(3, ItemID{Off: 4, Flags: LPRedirect, Len: 0}); err != nil {
+		t.Fatal(err)
+	}
+	rows := 0
+	if err := rel.Scan(func(TID, []float64) error { rows++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if rows != 0 {
+		t.Fatalf("scanned %d rows from a zero-live relation", rows)
+	}
+	if err := rel.Vacuum(); err != nil {
+		t.Fatal(err)
+	}
+	if rel.NumTuples() != 0 {
+		t.Fatalf("vacuum left %d tuples", rel.NumTuples())
+	}
+}
+
+// errorsIs avoids importing errors in this file twice.
+func errorsIs(err, target error) bool {
+	for err != nil {
+		if err == target {
+			return true
+		}
+		type unwrapper interface{ Unwrap() error }
+		u, ok := err.(unwrapper)
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}

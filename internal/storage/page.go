@@ -128,8 +128,19 @@ func (p Page) Checksum() uint16 { return binary.LittleEndian.Uint16(p[offChecksu
 // SetChecksum stores a page checksum.
 func (p Page) SetChecksum(v uint16) { binary.LittleEndian.PutUint16(p[offChecksum:], v) }
 
-// NumItems returns the number of line pointers on the page.
-func (p Page) NumItems() int { return (p.Lower() - PageHeaderSize) / ItemIDSize }
+// NumItems returns the number of line pointers on the page. On a
+// corrupt page whose pd_lower is out of range the count is clamped to
+// the line pointers that physically fit, so iteration never over-reads.
+func (p Page) NumItems() int {
+	n := (p.Lower() - PageHeaderSize) / ItemIDSize
+	if max := (len(p) - PageHeaderSize) / ItemIDSize; n > max {
+		n = max
+	}
+	if n < 0 {
+		return 0
+	}
+	return n
+}
 
 // FreeSpace returns the bytes available between the line pointer array and
 // tuple data, accounting for the line pointer a new tuple would need.
@@ -208,6 +219,18 @@ func (p Page) DeleteItem(i int) error {
 		return err
 	}
 	id.Flags = LPDead
+	binary.LittleEndian.PutUint32(p[PageHeaderSize+i*ItemIDSize:], encodeItemID(id))
+	return nil
+}
+
+// SetLinePointer overwrites line pointer i with id, fabricating states
+// a normal insert path never produces (LPRedirect chains, LPDead with
+// retained storage, LPUnused holes). Scanners must skip or reject these;
+// the differential harness uses this to prove they do.
+func (p Page) SetLinePointer(i int, id ItemID) error {
+	if _, err := p.ItemID(i); err != nil {
+		return err
+	}
 	binary.LittleEndian.PutUint32(p[PageHeaderSize+i*ItemIDSize:], encodeItemID(id))
 	return nil
 }

@@ -110,11 +110,18 @@ func TupleData(raw []byte) ([]byte, error) {
 	return raw[m.Hoff:], nil
 }
 
-// DecodeTuple parses a raw heap tuple into float64 column values.
+// DecodeTuple parses a raw heap tuple into float64 column values. It is
+// the fixed-width NOT NULL fast path: tuples carrying a null bitmap are
+// rejected (their attribute offsets are dynamic — use
+// DecodeTupleWithNulls), rather than silently misread through the
+// schema's static offset table.
 func DecodeTuple(s *Schema, dst []float64, raw []byte) ([]float64, error) {
-	data, err := TupleData(raw)
+	m, err := DecodeTupleMeta(raw)
 	if err != nil {
 		return dst, err
 	}
-	return s.DecodeValues(dst, data)
+	if m.Infomask&InfomaskHasNull != 0 {
+		return dst, fmt.Errorf("%w: tuple has a null bitmap; use DecodeTupleWithNulls", ErrCorrupt)
+	}
+	return s.DecodeValues(dst, raw[m.Hoff:])
 }

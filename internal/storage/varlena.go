@@ -1,0 +1,86 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Variable-length (varlena) datum encoding, mirroring PostgreSQL's
+// little-endian on-disk forms (postgres.h):
+//
+//   - short form: one header byte (len<<1)|1 where len counts the header
+//     itself, for total sizes 1..127 bytes; the payload is unaligned.
+//   - 4-byte form: a uint32 header len<<2 (low two bits zero) where len
+//     counts the 4 header bytes, for payloads up to VarlenaMaxLen.
+//
+// The storage schema machinery stays fixed-width (training relations are
+// dense numeric tables), but formed tuples may carry a trailing varlena
+// datum — e.g. a model blob or free-text column — and the differential
+// harness round-trips those through real pages.
+
+// VarlenaMaxLen is the largest encodable payload (30-bit length field,
+// minus the 4 header bytes).
+const VarlenaMaxLen = 1<<30 - 5
+
+// varlenaShortMax is the largest total size of the 1-byte-header form.
+const varlenaShortMax = 0x7F
+
+// AppendVarlena appends the varlena encoding of payload to dst,
+// choosing the short form when it fits.
+func AppendVarlena(dst, payload []byte) ([]byte, error) {
+	if len(payload) > VarlenaMaxLen {
+		return dst, fmt.Errorf("storage: varlena payload of %d bytes exceeds max %d", len(payload), VarlenaMaxLen)
+	}
+	if total := len(payload) + 1; total <= varlenaShortMax {
+		dst = append(dst, byte(total<<1|1))
+		return append(dst, payload...), nil
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)+4)<<2)
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...), nil
+}
+
+// VarlenaSize returns the total encoded size (header + payload) of the
+// varlena datum starting at b[0], without decoding the payload.
+func VarlenaSize(b []byte) (int, error) {
+	if len(b) == 0 {
+		return 0, fmt.Errorf("%w: empty varlena datum", ErrCorrupt)
+	}
+	if b[0]&1 == 1 {
+		total := int(b[0] >> 1)
+		if total == 0 {
+			return 0, fmt.Errorf("%w: toasted varlena (1-byte header with zero length) unsupported", ErrCorrupt)
+		}
+		return total, nil
+	}
+	if len(b) < 4 {
+		return 0, fmt.Errorf("%w: truncated 4-byte varlena header", ErrCorrupt)
+	}
+	hdr := binary.LittleEndian.Uint32(b)
+	if hdr&0x3 != 0 {
+		return 0, fmt.Errorf("%w: varlena header %#x has compression bits set", ErrCorrupt, hdr)
+	}
+	total := int(hdr >> 2)
+	if total < 4 {
+		return 0, fmt.Errorf("%w: 4-byte varlena header claims total %d < 4", ErrCorrupt, total)
+	}
+	return total, nil
+}
+
+// DecodeVarlena decodes the varlena datum starting at b[0], returning
+// the payload (aliasing b) and the total bytes consumed.
+func DecodeVarlena(b []byte) (payload []byte, n int, err error) {
+	total, err := VarlenaSize(b)
+	if err != nil {
+		return nil, 0, err
+	}
+	if total > len(b) {
+		return nil, 0, fmt.Errorf("%w: varlena of %d bytes overruns buffer of %d", ErrCorrupt, total, len(b))
+	}
+	hdr := 4
+	if b[0]&1 == 1 {
+		hdr = 1
+	}
+	return b[hdr:total], total, nil
+}

@@ -1,0 +1,175 @@
+package strider
+
+import (
+	"math/rand"
+	"testing"
+
+	"dana/internal/fuzzcorpus"
+	"dana/internal/storage"
+)
+
+// fuzzVMInput maps arbitrary fuzz bytes onto a (program, config, page)
+// triple. The mapping is total — every byte string decodes to something
+// runnable — so the fuzzer explores the VM itself rather than an input
+// validator. Missing bytes read as zero.
+//
+//	byte  0         : instruction count - 1 (low 5 bits → 1..32)
+//	4 per instr     : opcode (mod NumOpcodes), A, B, C (each &0x3F)
+//	32 bytes        : 16 field descriptors {start &31, width mod 33}
+//	32 bytes        : 16 config registers, 2 bytes little-endian each
+//	rest            : page buffer (capped at 32 KB)
+func fuzzVMInput(data []byte) ([]Instr, Config, []byte) {
+	pos := 0
+	take := func() byte {
+		if pos < len(data) {
+			b := data[pos]
+			pos++
+			return b
+		}
+		pos++
+		return 0
+	}
+	const numOpcodes = int(OpBexit) + 1
+	n := int(take()&31) + 1
+	prog := make([]Instr, n)
+	for i := range prog {
+		prog[i] = Instr{
+			Op: Opcode(int(take()) % numOpcodes),
+			A:  Operand(take() & 0x3F),
+			B:  Operand(take() & 0x3F),
+			C:  Operand(take() & 0x3F),
+		}
+	}
+	var cfg Config
+	for i := range cfg.Fields {
+		cfg.Fields[i] = FieldDesc{Start: take() & 31, Width: take() % 33}
+	}
+	for i := range cfg.CR {
+		lo, hi := take(), take()
+		cfg.CR[i] = uint64(lo) | uint64(hi)<<8
+	}
+	var page []byte
+	if pos < len(data) {
+		page = data[pos:]
+		if len(page) > storage.PageSize32K {
+			page = page[:storage.PageSize32K]
+		}
+	}
+	return prog, cfg, page
+}
+
+// encodeFuzzVMSeed is the inverse of fuzzVMInput for well-formed inputs
+// (operands < 64, field starts < 32, widths ≤ 32, CRs < 65536), used to
+// seed the corpus with real walker programs.
+func encodeFuzzVMSeed(prog []Instr, cfg Config, page []byte) []byte {
+	out := []byte{byte(len(prog) - 1)}
+	for _, in := range prog {
+		out = append(out, byte(in.Op), byte(in.A), byte(in.B), byte(in.C))
+	}
+	for _, fd := range cfg.Fields {
+		out = append(out, fd.Start, fd.Width)
+	}
+	for _, cr := range cfg.CR {
+		out = append(out, byte(cr), byte(cr>>8))
+	}
+	return append(out, page...)
+}
+
+// striderVMSeeds builds the deterministic seed corpus for FuzzStriderVM:
+// the real PostgreSQL and InnoDB walkers over real pages, the old
+// TestVMFuzzNoPanic generator's programs (same rand seed it shipped
+// with), and a uint64-wraparound probe.
+func striderVMSeeds(tb testing.TB) [][]byte {
+	var seeds [][]byte
+	schema := storage.NumericSchema(4)
+	// Seed 1: the real PostgreSQL page walker over a real page.
+	if prog, cfg, err := Generate(PostgresLayout(storage.PageSize8K)); err == nil {
+		page := storage.NewPage(storage.PageSize8K, 0)
+		rng := rand.New(rand.NewSource(7))
+		for i := 0; i < 5; i++ {
+			vals := make([]float64, schema.NumCols())
+			for j := range vals {
+				vals[j] = float64(float32(rng.NormFloat64()))
+			}
+			raw, err := storage.EncodeTuple(schema, vals, 3, storage.TID{Item: uint16(i)})
+			if err != nil {
+				tb.Fatal(err)
+			}
+			if _, err := page.AddItem(raw); err != nil {
+				tb.Fatal(err)
+			}
+		}
+		seeds = append(seeds, encodeFuzzVMSeed(prog, cfg, page[:2048]))
+	}
+	// Seed 2: the InnoDB walker.
+	if prog, cfg, err := GenerateInnoDB(InnoDBLayout(storage.PageSize8K, schema)); err == nil {
+		ipage := storage.NewInnoPage(storage.PageSize8K)
+		buf := make([]byte, schema.DataWidth())
+		for i := 0; i < 3; i++ {
+			if err := schema.EncodeValues(buf, make([]float64, schema.NumCols())); err != nil {
+				tb.Fatal(err)
+			}
+			if err := ipage.AddRecord(buf); err != nil {
+				tb.Fatal(err)
+			}
+		}
+		seeds = append(seeds, encodeFuzzVMSeed(prog, cfg, ipage[:1024]))
+	}
+	// Seeds 3..N: the old TestVMFuzzNoPanic generator, same distribution
+	// and seed it shipped with.
+	oldRNG := rand.New(rand.NewSource(31))
+	oldPage := make([]byte, 1024)
+	oldRNG.Read(oldPage)
+	for trial := 0; trial < 12; trial++ {
+		n := 1 + oldRNG.Intn(12)
+		prog := make([]Instr, n)
+		for i := range prog {
+			prog[i] = Instr{
+				Op: Opcode(oldRNG.Intn(11)),
+				A:  Operand(oldRNG.Intn(64)),
+				B:  Operand(oldRNG.Intn(64)),
+				C:  Operand(oldRNG.Intn(64)),
+			}
+		}
+		var cfg Config
+		for i := range cfg.Fields {
+			cfg.Fields[i] = FieldDesc{Start: uint8(oldRNG.Intn(32)), Width: uint8(oldRNG.Intn(33))}
+		}
+		seeds = append(seeds, encodeFuzzVMSeed(prog, cfg, oldPage))
+	}
+	// Final seed: wraparound probe — sub 0,1 then readB/cln/writeB with
+	// the huge result, the overflow class the bounds checks must reject.
+	seeds = append(seeds, encodeFuzzVMSeed([]Instr{
+		{Op: OpSub, A: 0, B: 1, C: operandTBase},                  // %t0 = 0 - 1
+		{Op: OpReadB, A: operandTBase, B: 8, C: operandTBase + 1}, // readB %t0, 8
+		{Op: OpClean, A: operandTBase, B: operandTBase, C: 8},     // cln %t0+%t0, 8
+		{Op: OpWriteB, A: 1, B: 8, C: operandTBase},               // writeB at %t0
+	}, Config{}, make([]byte, 256)))
+	return seeds
+}
+
+// FuzzStriderVM is the native promotion of the old TestVMFuzzNoPanic:
+// arbitrary programs against arbitrary pages must return (error or nil),
+// never panic, over-read, or hang.
+func FuzzStriderVM(f *testing.F) {
+	for _, s := range striderVMSeeds(f) {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		prog, cfg, page := fuzzVMInput(data)
+		vm := NewVM(prog, cfg)
+		vm.MaxSteps = 50000
+		_ = vm.Run(page) // error or nil both fine; panics/hangs are not
+	})
+}
+
+// TestWriteStriderVMCorpus regenerates the committed seed corpus when
+// DANA_WRITE_FUZZ_CORPUS is set.
+func TestWriteStriderVMCorpus(t *testing.T) {
+	if !fuzzcorpus.ShouldWrite() {
+		t.Skipf("set %s=1 to regenerate the corpus", fuzzcorpus.WriteEnv)
+	}
+	if err := fuzzcorpus.WriteBytes("testdata/fuzz/FuzzStriderVM", striderVMSeeds(t)); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -370,34 +370,6 @@ func TestVMReuseAcrossPages(t *testing.T) {
 	}
 }
 
-// TestVMFuzzNoPanic feeds randomly generated (but well-formed) programs
-// to the VM against random pages: every run must either succeed or
-// return an error — never panic or loop forever.
-func TestVMFuzzNoPanic(t *testing.T) {
-	rng := rand.New(rand.NewSource(31))
-	page := make([]byte, 1024)
-	rng.Read(page)
-	for trial := 0; trial < 500; trial++ {
-		n := 1 + rng.Intn(12)
-		prog := make([]Instr, n)
-		for i := range prog {
-			prog[i] = Instr{
-				Op: Opcode(rng.Intn(11)),
-				A:  Operand(rng.Intn(64)),
-				B:  Operand(rng.Intn(64)),
-				C:  Operand(rng.Intn(64)),
-			}
-		}
-		var cfg Config
-		for i := range cfg.Fields {
-			cfg.Fields[i] = FieldDesc{Start: uint8(rng.Intn(32)), Width: uint8(rng.Intn(33))}
-		}
-		vm := NewVM(prog, cfg)
-		vm.MaxSteps = 50000
-		_ = vm.Run(page) // error or nil both fine; panics/hangs are not
-	}
-}
-
 // TestVMEncodedRoundTripExecution executes a program after a full
 // binary encode/decode round trip and checks identical behaviour.
 func TestVMEncodedRoundTripExecution(t *testing.T) {

@@ -92,8 +92,8 @@ func (vm *VM) Run(page []byte) error {
 			if n > 8 {
 				return vm.fault(pc, "writeB length %d > 8", n)
 			}
-			if addr+n > uint64(len(vm.page)) {
-				return vm.fault(pc, "writeB [%d,%d) beyond page of %d bytes", addr, addr+n, len(vm.page))
+			if addr > uint64(len(vm.page)) || n > uint64(len(vm.page))-addr {
+				return vm.fault(pc, "writeB %d bytes at %d beyond page of %d bytes", n, addr, len(vm.page))
 			}
 			for i := uint64(0); i < n; i++ {
 				vm.page[addr+i] = byte(src >> (8 * i))
@@ -111,10 +111,13 @@ func (vm *VM) Run(page []byte) error {
 			}
 		case OpClean:
 			addr, skip, n := vm.val(in.A), vm.val(in.B), vm.val(in.C)
-			start := addr + skip
-			if start+n > uint64(len(vm.page)) {
-				return vm.fault(pc, "cln [%d,%d) beyond page of %d bytes", start, start+n, len(vm.page))
+			// Bound each term before summing: register values are untrusted
+			// uint64s, and addr+skip+n can wrap around zero.
+			plen := uint64(len(vm.page))
+			if addr > plen || skip > plen-addr || n > plen-addr-skip {
+				return vm.fault(pc, "cln %d bytes at %d+%d beyond page of %d bytes", n, addr, skip, len(vm.page))
 			}
+			start := addr + skip
 			vm.out = append(vm.out, vm.page[start:start+n]...)
 			vm.cycles += int64(n+7) / 8
 		case OpInsert:
@@ -199,8 +202,8 @@ func (vm *VM) store(pc int, o Operand, v uint64) error {
 
 // load reads an n-byte little-endian value from the page.
 func (vm *VM) load(pc int, addr, n uint64) (uint64, error) {
-	if addr+n > uint64(len(vm.page)) {
-		return 0, vm.fault(pc, "readB [%d,%d) beyond page of %d bytes", addr, addr+n, len(vm.page))
+	if addr > uint64(len(vm.page)) || n > uint64(len(vm.page))-addr {
+		return 0, vm.fault(pc, "readB %d bytes at %d beyond page of %d bytes", n, addr, len(vm.page))
 	}
 	var v uint64
 	for i := uint64(0); i < n; i++ {

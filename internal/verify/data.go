@@ -1,0 +1,47 @@
+package verify
+
+import "dana/internal/algos"
+
+// TrainingTuples draws a well-scaled dataset for the spec. Features are
+// float32-quantized so both the engine's float32 datapath and float4
+// heap columns round-trip the exact same values; labels are drawn from
+// the kind's natural domain (±1 for SVM, {0,1} for logistic, bounded
+// quarter-steps for LRMF ratings).
+func TrainingTuples(g *Gen, sp GoldenSpec, n int) [][]float64 {
+	tuples := make([][]float64, n)
+	for i := range tuples {
+		t := make([]float64, sp.TupleWidth())
+		if sp.Kind == algos.KindLRMF {
+			t[0] = float64(g.Intn(sp.Users))
+			t[1] = float64(sp.Users + g.Intn(sp.Items))
+			t[2] = float64(g.Intn(5)) * 0.25
+		} else {
+			for j := 0; j < sp.NFeat; j++ {
+				t[j] = float64(float32(float64(g.Intn(2001)-1000) / 500))
+			}
+			switch sp.Kind {
+			case algos.KindSVM:
+				t[sp.NFeat] = float64(2*g.Intn(2) - 1) // {-1,+1}
+			case algos.KindLogistic:
+				t[sp.NFeat] = float64(g.Intn(2)) // {0,1}
+			default:
+				t[sp.NFeat] = float64(float32(float64(g.Intn(2001)-1000) / 500))
+			}
+		}
+		tuples[i] = t
+	}
+	return tuples
+}
+
+// InitModelFor draws an initial model for the spec: zeros for the GLMs
+// (matching ml.InitModel) and small positive float32-quantized factors
+// for LRMF so gradients are non-degenerate.
+func InitModelFor(g *Gen, sp GoldenSpec) []float64 {
+	init := make([]float64, sp.ModelSize())
+	if sp.Kind == algos.KindLRMF {
+		for i := range init {
+			init[i] = float64(float32(0.05 + 0.01*float64(g.Intn(10))))
+		}
+	}
+	return init
+}
