@@ -729,3 +729,66 @@ func BenchmarkCatalogSerialization(b *testing.B) {
 		b.SetBytes(int64(len(data)))
 	}
 }
+
+// --- Observability benchmarks ------------------------------------------------
+
+// BenchmarkCalibration is a fixed arithmetic workload with no I/O, no
+// allocation, and no dependence on repository code. The CI regression
+// gate divides every benchmark's ns/op by this one's before comparing
+// against the committed baseline, cancelling out raw machine speed so
+// the gate tracks relative slowdowns rather than runner hardware.
+func BenchmarkCalibration(b *testing.B) {
+	acc := uint64(0x9e3779b97f4a7c15)
+	for i := 0; i < b.N; i++ {
+		x := acc + uint64(i)
+		for j := 0; j < 1024; j++ {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+		}
+		acc += x
+	}
+	if acc == 42 {
+		b.Fatal("unreachable: defeat dead-code elimination")
+	}
+}
+
+// BenchmarkObsOverhead measures the cost of the observability layer on
+// an end-to-end LR training query: identical runs with the counters
+// enabled (default) and disabled (obs.Noop). TestObsOverheadBudget
+// gates the delta at < 5%.
+func BenchmarkObsOverhead(b *testing.B) {
+	for _, cfg := range []struct {
+		name    string
+		disable bool
+	}{{"obs=on", false}, {"obs=off", true}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			eng, err := Open(Config{
+				PageSize: 32 << 10, PoolBytes: 128 << 20,
+				Workers: 1, NoExtractCache: true, DisableObs: cfg.disable,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			d, err := eng.LoadWorkload("Remote Sensing LR", 0.02, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			a, err := d.DSLAlgo(64)
+			if err != nil {
+				b.Fatal(err)
+			}
+			a.SetEpochs(2)
+			if err := eng.RegisterUDF(a, 64); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Train(a.Name, d.Rel.Name); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(2*d.Tuples)*float64(b.N)/b.Elapsed().Seconds(), "tuples/s")
+		})
+	}
+}

@@ -24,7 +24,20 @@ import (
 
 func main() {
 	exp := flag.String("exp", "all", "experiment to run (all, table3, table4, table5, fig8..fig16)")
+	bench := flag.String("bench", "", "benchmark regexp: run `go test -bench` instead of experiments and export BENCH_<name>.json")
+	count := flag.Int("count", 5, "bench mode: repetitions per benchmark (median is exported)")
+	pkgs := flag.String("benchpkgs", "./...", "bench mode: packages passed to go test")
+	name := flag.String("name", "local", "bench mode: label; output file is BENCH_<name>.json")
+	outDir := flag.String("outdir", ".", "bench mode: directory for BENCH_<name>.json")
+	baseline := flag.String("baseline", "", "bench mode: baseline BENCH_*.json to gate wall times against")
+	maxReg := flag.Float64("maxreg", 0.15, "bench mode: max tolerated wall-time regression vs baseline")
 	flag.Parse()
+	if *bench != "" {
+		if err := runBenchMode(*bench, *count, *pkgs, *name, *outDir, *baseline, *maxReg); err != nil {
+			fail(err)
+		}
+		return
+	}
 	env := experiments.DefaultEnv()
 	runners := map[string]func(experiments.Env) error{
 		"table3": table3, "table4": table4, "table5": table5,
@@ -41,10 +54,18 @@ func main() {
 			names = append(names, n)
 		}
 		sort.Strings(names)
+		// Run every experiment even when one errors, so a single broken
+		// scenario doesn't hide the state of the rest — but still exit
+		// non-zero if anything failed.
+		var failed []string
 		for _, n := range names {
 			if err := runners[n](env); err != nil {
-				fail(err)
+				fmt.Fprintf(os.Stderr, "danabench: %s: %v\n", n, err)
+				failed = append(failed, n)
 			}
+		}
+		if len(failed) > 0 {
+			fail(fmt.Errorf("%d experiment(s) failed: %s", len(failed), strings.Join(failed, ", ")))
 		}
 		return
 	}

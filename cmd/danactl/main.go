@@ -6,6 +6,15 @@
 //	danactl -workload "Remote Sensing LR" -scale 0.01 -merge 64 -epochs 3
 //	danactl -sql "SELECT COUNT(*) FROM remote_sensing_lr" -workload "Remote Sensing LR" -scale 0.01
 //	danactl -udf my_udf.dsl -workload Patient -scale 0.01   # custom DSL file
+//
+// Subcommands (same flags apply after the subcommand):
+//
+//	danactl stats            # train, then print the observability
+//	                         # breakdown: per-component cycles (summing
+//	                         # exactly to the modeled total) and
+//	                         # compute/access utilization, Fig 10 style
+//	danactl stats -json      # machine-readable obs snapshot instead
+//	danactl trace            # train, then dump the trace-event ring
 package main
 
 import (
@@ -15,9 +24,17 @@ import (
 
 	"dana"
 	"dana/internal/engine"
+	"dana/internal/obs"
+	"dana/internal/runtime"
 )
 
 func main() {
+	args := os.Args[1:]
+	mode := "train"
+	if len(args) > 0 && (args[0] == "stats" || args[0] == "trace") {
+		mode = args[0]
+		args = args[1:]
+	}
 	var (
 		workload = flag.String("workload", "Remote Sensing LR", "Table 3 workload name")
 		scale    = flag.Float64("scale", 0.01, "fraction of the full tuple count to generate")
@@ -28,16 +45,19 @@ func main() {
 		udfFile  = flag.String("udf", "", "optional DSL source file overriding the built-in UDF")
 		sqlStmt  = flag.String("sql", "", "optional SQL to run instead of training")
 		listing  = flag.Bool("listing", false, "print the compiled accelerator program listing")
+		asJSON   = flag.Bool("json", false, "with the stats subcommand: print the obs snapshot as JSON")
 	)
-	flag.Parse()
+	check(flag.CommandLine.Parse(args))
 
 	eng, err := dana.Open(dana.Config{PageSize: *pageKB << 10, PoolBytes: 256 << 20})
 	check(err)
 
 	ds, err := eng.LoadWorkload(*workload, *scale, *seed)
 	check(err)
-	fmt.Printf("loaded %q as table %q: %d tuples, %d pages of %d KB\n",
-		ds.Workload.Name, ds.Rel.Name, ds.Tuples, ds.Rel.NumPages(), *pageKB)
+	if mode == "train" {
+		fmt.Printf("loaded %q as table %q: %d tuples, %d pages of %d KB\n",
+			ds.Workload.Name, ds.Rel.Name, ds.Tuples, ds.Rel.NumPages(), *pageKB)
+	}
 
 	if *sqlStmt != "" {
 		res, err := eng.SQL(*sqlStmt)
@@ -63,6 +83,22 @@ func main() {
 
 	res, err := eng.Train(algo.Name, ds.Rel.Name)
 	check(err)
+
+	switch mode {
+	case "stats":
+		if *asJSON {
+			data, err := eng.Obs().Snapshot().MarshalJSON()
+			check(err)
+			fmt.Println(string(data))
+			return
+		}
+		printStats(eng, res)
+		return
+	case "trace":
+		printTrace(eng.Obs())
+		return
+	}
+
 	fmt.Printf("\naccelerator design: %s\n", res.Design)
 	fmt.Printf("trained %q for %d epochs over %d tuples\n", algo.Name, res.Epochs, res.Engine.Tuples)
 	fmt.Printf("engine:  %d cycles (%d compute, %d merge, %d load), %d instructions\n",
@@ -105,6 +141,104 @@ func main() {
 			}
 		}
 	}
+}
+
+// printStats renders the Fig 10-style observability breakdown: where
+// every modeled accelerator cycle went, per component, with the
+// compute- and access-engine utilization of the generated design. The
+// per-component engine cycles must sum exactly to the modeled total —
+// danactl exits non-zero if the identity is violated.
+func printStats(eng *dana.Engine, res *runtime.TrainResult) {
+	r := eng.Obs()
+	pct := func(part, whole int64) float64 {
+		if whole == 0 {
+			return 0
+		}
+		return 100 * float64(part) / float64(whole)
+	}
+
+	fmt.Printf("=== execution engine (%d threads) ===\n", res.Design.Engine.Threads)
+	total := r.Get(obs.EngineCycles)
+	load := r.Get(obs.EngineCyclesLoad)
+	compute := r.Get(obs.EngineCyclesCompute)
+	mergeCyc := r.Get(obs.EngineCyclesMerge)
+	fmt.Printf("  %-22s %14d cycles\n", "total (makespan)", total)
+	fmt.Printf("  %-22s %14d cycles %6.1f%%\n", "tuple load", load, pct(load, total))
+	fmt.Printf("  %-22s %14d cycles %6.1f%%\n", "compute", compute, pct(compute, total))
+	fmt.Printf("  %-22s %14d cycles %6.1f%%\n", "merge + broadcast", mergeCyc, pct(mergeCyc, total))
+	sum := load + compute + mergeCyc
+	if sum != total {
+		fmt.Fprintf(os.Stderr, "danactl: cycle accounting broken: %d+%d+%d = %d != total %d\n",
+			load, compute, mergeCyc, sum, total)
+		os.Exit(1)
+	}
+	fmt.Printf("  %-22s %14d cycles (sums exactly to total)\n", "sum of components", sum)
+	fmt.Printf("  %-22s %13.1f%% of %d-thread capacity (%d idle slot-cycles in merge batches)\n",
+		"compute utilization", 100*res.Engine.Utilization(res.Design.Engine.Threads),
+		res.Design.Engine.Threads, res.Engine.IdleCycles)
+
+	fmt.Printf("=== access engine (%d striders) ===\n", res.Design.NumStriders)
+	fmt.Printf("  %-22s %14d cycles (group-max critical path)\n", "strider cycles", r.Get(obs.StriderCycles))
+	fmt.Printf("  %-22s %14d cycles (work across striders)\n", "strider work", r.Get(obs.StriderCyclesTotal))
+	fmt.Printf("  %-22s %13.1f%% of %d-strider capacity\n",
+		"access utilization", 100*res.Access.Utilization(res.Design.NumStriders), res.Design.NumStriders)
+	fmt.Printf("  %-22s %14d pages, %d tuples, %d bytes, %d VM instructions\n",
+		"walked", r.Get(obs.StriderPages), r.Get(obs.StriderTuples),
+		r.Get(obs.StriderBytes), r.Get(obs.StriderInstrs))
+
+	fmt.Printf("=== buffer pool ===\n")
+	hits, misses := r.Get(obs.PoolHits), r.Get(obs.PoolMisses)
+	fmt.Printf("  %-22s %14d hits, %d misses (%.1f%% hit ratio)\n",
+		"page requests", hits, misses, pct(hits, hits+misses))
+	fmt.Printf("  %-22s %14d evictions, %d clock-sweep steps, %d bytes read, %.4fs simulated I/O\n",
+		"replacement", r.Get(obs.PoolEvictions), r.Get(obs.PoolSweepSteps),
+		r.Get(obs.PoolBytesRead), r.GetFloat(obs.PoolIOSeconds))
+
+	fmt.Printf("=== runtime ===\n")
+	nEpochs := r.Get(obs.RuntimeEpochs)
+	cached := r.Get(obs.RuntimeEpochCached)
+	fmt.Printf("  %-22s %14d (%d replayed from the record cache)\n", "epochs", nEpochs, cached)
+	ch, cm := r.Get(obs.RuntimeCacheHits), r.Get(obs.RuntimeCacheMisses)
+	fmt.Printf("  %-22s %14d hits, %d misses (%.1f%% hit rate)\n",
+		"record cache", ch, cm, pct(ch, ch+cm))
+	trainNs := r.Get(obs.RuntimeTrainWallNs)
+	fmt.Printf("  %-22s %11.3f ms wall (%.3f ms/epoch mean)\n",
+		"host time", float64(trainNs)/1e6, float64(r.Get(obs.RuntimeEpochWallNs))/1e6/float64(max64(1, nEpochs)))
+	busyNs := r.Get(obs.RuntimeWorkerBusyNs)
+	occ := 0.0
+	if trainNs > 0 {
+		occ = 100 * float64(busyNs) / float64(trainNs)
+	}
+	fmt.Printf("  %-22s %11.3f ms in Strider VMs (%.0f%% of train wall across workers)\n",
+		"worker busy", float64(busyNs)/1e6, occ)
+	fmt.Printf("=== modeled result ===\n")
+	fmt.Printf("  %-22s %14.4f s simulated end-to-end\n", "accelerator", res.SimulatedSeconds)
+}
+
+// printTrace dumps the bounded trace-event ring, timestamps relative to
+// the first retained event.
+func printTrace(r *obs.Registry) {
+	evs := r.Ring().Events()
+	if len(evs) == 0 {
+		fmt.Println("trace ring is empty")
+		return
+	}
+	if d := r.Ring().Dropped(); d > 0 {
+		fmt.Printf("(%d older events dropped by the ring)\n", d)
+	}
+	t0 := evs[0].AtNs
+	fmt.Printf("%6s %12s  %-14s %12s %12s\n", "seq", "t(ms)", "event", "a", "b")
+	for _, ev := range evs {
+		fmt.Printf("%6d %12.3f  %-14s %12d %12d\n",
+			ev.Seq, float64(ev.AtNs-t0)/1e6, ev.Name, ev.A, ev.B)
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 func printResult(res *dana.Result) {

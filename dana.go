@@ -24,6 +24,7 @@ import (
 	"dana/internal/hwgen"
 	"dana/internal/madlib"
 	"dana/internal/ml"
+	"dana/internal/obs"
 	"dana/internal/runtime"
 	"dana/internal/sql"
 	"dana/internal/storage"
@@ -49,6 +50,11 @@ type Config struct {
 	// NoExtractCache disables the cross-epoch extracted-record cache,
 	// forcing every epoch to re-walk the heap through the Striders.
 	NoExtractCache bool
+	// DisableObs runs the engine without observability counters
+	// (obs.Noop): every instrument site degrades to a nil-check.
+	// Counters never feed back into the model either way — modeled
+	// cycles and trained models are bit-identical on or off.
+	DisableObs bool
 }
 
 // Defaults returns the paper's default setup at in-process scale.
@@ -78,6 +84,7 @@ func Open(cfg Config) (*Engine, error) {
 	opts.Workers = cfg.Workers
 	opts.PipelineDepth = cfg.PipelineDepth
 	opts.NoExtractCache = cfg.NoExtractCache
+	opts.DisableObs = cfg.DisableObs
 	return &Engine{sys: runtime.New(opts)}, nil
 }
 
@@ -127,6 +134,12 @@ func (e *Engine) Catalog() *catalog.Catalog { return e.sys.Catalog() }
 
 // Pool exposes the buffer pool (for warm/cold cache control).
 func (e *Engine) Pool() *bufpool.Pool { return e.sys.Pool() }
+
+// Obs exposes the engine's observability registry: cycle/utilization
+// counters for every subsystem, histograms, and the trace-event ring.
+// Snapshot it for the machine-readable JSON export (`BENCH_*.json`,
+// `danactl stats`). Returns obs.Noop when Config.DisableObs is set.
+func (e *Engine) Obs() *obs.Registry { return e.sys.Obs() }
 
 // WarmCache pre-loads a table into the buffer pool (the paper's
 // warm-cache experimental setting).

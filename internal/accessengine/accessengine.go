@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math"
 
+	"dana/internal/obs"
 	"dana/internal/storage"
 	"dana/internal/strider"
 )
@@ -35,15 +36,47 @@ type Engine struct {
 	allF32 bool
 
 	stats Stats
+
+	// Observability handles (SetObs); nil handles are no-ops. Charged by
+	// the Collector alongside stats, i.e. on the coordinating goroutine
+	// in page order.
+	obsPages  *obs.Counter
+	obsTuples *obs.Counter
+	obsBytes  *obs.Counter
+	obsInstrs *obs.Counter
+	obsCyc    *obs.Counter
+	obsCycTot *obs.Counter
 }
 
 // Stats counts access-engine activity.
 type Stats struct {
-	Pages       int64
-	Tuples      int64
-	Bytes       int64 // payload bytes emitted to the execution engine
-	Cycles      int64 // strider cycles (max across concurrent striders per group)
-	TotalCycles int64 // sum of strider cycles across all striders (utilization)
+	Pages        int64
+	Tuples       int64
+	Bytes        int64 // payload bytes emitted to the execution engine
+	Instructions int64 // strider VM instructions retired
+	Cycles       int64 // strider cycles (max across concurrent striders per group)
+	TotalCycles  int64 // sum of strider cycles across all striders (utilization)
+}
+
+// Utilization returns the mean fraction of the numStriders Striders
+// kept busy under the group-max cycle model: total work over
+// numStriders × the modeled (parallel) time.
+func (s Stats) Utilization(numStriders int) float64 {
+	if s.Cycles == 0 || numStriders < 1 {
+		return 0
+	}
+	return float64(s.TotalCycles) / (float64(s.Cycles) * float64(numStriders))
+}
+
+// SetObs registers the engine's counters with an observability registry
+// (obs.Noop disables).
+func (e *Engine) SetObs(r *obs.Registry) {
+	e.obsPages = r.Counter(obs.StriderPages)
+	e.obsTuples = r.Counter(obs.StriderTuples)
+	e.obsBytes = r.Counter(obs.StriderBytes)
+	e.obsInstrs = r.Counter(obs.StriderInstrs)
+	e.obsCyc = r.Counter(obs.StriderCycles)
+	e.obsCycTot = r.Counter(obs.StriderCyclesTotal)
 }
 
 // New builds the engine: it generates the Strider program for the page
@@ -133,6 +166,7 @@ type PageResult struct {
 	Data   []float32
 	Cycles int64
 	Bytes  int64
+	Steps  int64 // strider VM instructions retired on this page
 }
 
 // ExtractPage runs the page through Strider vmIdx and deformats the
@@ -186,6 +220,7 @@ func (e *Engine) ExtractPage(vmIdx int, page storage.Page, res *PageResult) erro
 	res.Rows = rows
 	res.Cycles = vm.Cycles()
 	res.Bytes = int64(len(out))
+	res.Steps = vm.Steps()
 	return nil
 }
 
@@ -206,11 +241,18 @@ func (e *Engine) NewCollector() *Collector { return &Collector{e: e} }
 
 // Add charges one page's counters, in page order.
 func (c *Collector) Add(r *PageResult) {
-	st := &c.e.stats
+	e := c.e
+	st := &e.stats
 	st.Pages++
 	st.Tuples += int64(len(r.Rows))
 	st.Bytes += r.Bytes
+	st.Instructions += r.Steps
 	st.TotalCycles += r.Cycles
+	e.obsPages.Inc()
+	e.obsTuples.Add(int64(len(r.Rows)))
+	e.obsBytes.Add(r.Bytes)
+	e.obsInstrs.Add(r.Steps)
+	e.obsCycTot.Add(r.Cycles)
 	if r.Cycles > c.max {
 		c.max = r.Cycles
 	}
@@ -222,6 +264,7 @@ func (c *Collector) Add(r *PageResult) {
 
 func (c *Collector) flushGroup() {
 	c.e.stats.Cycles += c.max
+	c.e.obsCyc.Add(c.max)
 	c.fill, c.max = 0, 0
 }
 

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sync"
 
+	"dana/internal/obs"
 	"dana/internal/storage"
 )
 
@@ -90,6 +91,32 @@ type Pool struct {
 	// torn or corrupted pages fail the read instead of reaching the
 	// Striders.
 	VerifyChecksums bool
+
+	// Observability handles (SetObs). Nil handles are no-ops, so an
+	// un-instrumented pool pays one branch per counter site.
+	obsHits   *obs.Counter
+	obsMisses *obs.Counter
+	obsEvict  *obs.Counter
+	obsSweep  *obs.Counter
+	obsBytes  *obs.Counter
+	obsIOSec  *obs.FloatCounter
+	obsRing   *obs.Ring
+}
+
+// SetObs registers the pool's counters with an observability registry
+// (obs.Noop disables). Counters are cumulative across ResetStats: the
+// registry observes pool activity, it does not mirror the resettable
+// Stats struct.
+func (p *Pool) SetObs(r *obs.Registry) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.obsHits = r.Counter(obs.PoolHits)
+	p.obsMisses = r.Counter(obs.PoolMisses)
+	p.obsEvict = r.Counter(obs.PoolEvictions)
+	p.obsSweep = r.Counter(obs.PoolSweepSteps)
+	p.obsBytes = r.Counter(obs.PoolBytesRead)
+	p.obsIOSec = r.Float(obs.PoolIOSeconds)
+	p.obsRing = r.Ring()
 }
 
 // New creates a pool of nframes frames for pages of pageSize bytes.
@@ -153,11 +180,13 @@ func (p *Pool) Invalidate() error {
 			return fmt.Errorf("bufpool: cannot invalidate: frame %d (%v) is pinned", i, p.frames[i].id)
 		}
 	}
+	dropped := int64(len(p.table))
 	for i := range p.frames {
 		p.frames[i] = frame{}
 	}
 	p.table = make(map[PageID]int, len(p.frames))
 	p.invals++
+	p.obsRing.Emit(obs.EvPoolInval, dropped, 0)
 	return nil
 }
 
@@ -212,6 +241,7 @@ func (p *Pool) Pin(rel string, pageNo uint32) (storage.Page, error) {
 			f.usage++
 		}
 		p.stats.Hits++
+		p.obsHits.Inc()
 		return f.page, nil
 	}
 	// Miss: find a victim via clock sweep.
@@ -237,6 +267,7 @@ func (p *Pool) Pin(rel string, pageNo uint32) (storage.Page, error) {
 	if f.valid {
 		delete(p.table, f.id)
 		p.stats.Evictions++
+		p.obsEvict.Inc()
 	}
 	if f.page == nil {
 		f.page = make(storage.Page, p.pageSize)
@@ -251,6 +282,9 @@ func (p *Pool) Pin(rel string, pageNo uint32) (storage.Page, error) {
 	p.stats.Misses++
 	p.stats.BytesRead += int64(p.pageSize)
 	p.stats.IOSeconds += p.disk.ReadTime(p.pageSize)
+	p.obsMisses.Inc()
+	p.obsBytes.Add(int64(p.pageSize))
+	p.obsIOSec.Add(p.disk.ReadTime(p.pageSize))
 	return f.page, nil
 }
 
@@ -264,6 +298,7 @@ func (p *Pool) evictLocked() (int, error) {
 		f := &p.frames[p.hand]
 		idx := p.hand
 		p.hand = (p.hand + 1) % n
+		p.obsSweep.Inc()
 		if !f.valid {
 			return idx, nil
 		}

@@ -1,0 +1,82 @@
+package bufpool
+
+import (
+	"testing"
+
+	"dana/internal/obs"
+)
+
+// TestObsMirrorsStats: the observability counters charged by the pool
+// agree exactly with its Stats struct, and hits + misses accounts for
+// every Pin request.
+func TestObsMirrorsStats(t *testing.T) {
+	r := testRelation(t, "t", 2000)
+	p := newPool(t, 4, r)
+	if r.NumPages() <= 4 {
+		t.Fatalf("relation has %d pages; need more than the 4 pool frames", r.NumPages())
+	}
+	reg := obs.New()
+	p.SetObs(reg)
+
+	requests := int64(0)
+	n := int(r.NumPages())
+	// Two passes over a relation larger than the pool: misses, hits on
+	// recently-used frames, evictions, and clock-sweep advances.
+	for pass := 0; pass < 2; pass++ {
+		for pn := 0; pn < n; pn++ {
+			if _, err := p.Pin("t", uint32(pn)); err != nil {
+				t.Fatal(err)
+			}
+			requests++
+			if err := p.Unpin("t", uint32(pn)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	st := p.Stats()
+	if st.Hits+st.Misses != requests {
+		t.Fatalf("hits %d + misses %d != pin requests %d", st.Hits, st.Misses, requests)
+	}
+	if got := reg.Get(obs.PoolHits); got != st.Hits {
+		t.Fatalf("obs hits %d != stats hits %d", got, st.Hits)
+	}
+	if got := reg.Get(obs.PoolMisses); got != st.Misses {
+		t.Fatalf("obs misses %d != stats misses %d", got, st.Misses)
+	}
+	if got := reg.Get(obs.PoolEvictions); got != st.Evictions {
+		t.Fatalf("obs evictions %d != stats evictions %d", got, st.Evictions)
+	}
+	if got := reg.Get(obs.PoolBytesRead); got != st.BytesRead {
+		t.Fatalf("obs bytes read %d != stats bytes read %d", got, st.BytesRead)
+	}
+	if got := reg.GetFloat(obs.PoolIOSeconds); got != st.IOSeconds {
+		t.Fatalf("obs io seconds %v != stats io seconds %v", got, st.IOSeconds)
+	}
+	if st.Evictions == 0 {
+		t.Fatal("scenario produced no evictions; test is not exercising the sweep")
+	}
+	if reg.Get(obs.PoolSweepSteps) < st.Evictions {
+		t.Fatalf("sweep steps %d < evictions %d: every eviction advances the clock at least once",
+			reg.Get(obs.PoolSweepSteps), st.Evictions)
+	}
+
+	// Invalidation emits a trace event carrying the dropped-frame count.
+	if err := p.Invalidate(); err != nil {
+		t.Fatal(err)
+	}
+	evs := reg.Ring().Events()
+	if len(evs) == 0 {
+		t.Fatal("no trace events after Invalidate")
+	}
+	last := evs[len(evs)-1]
+	if last.Name != obs.EvPoolInval || last.A <= 0 {
+		t.Fatalf("last event %+v, want %s with dropped > 0", last, obs.EvPoolInval)
+	}
+
+	// Obs counters survive a stats reset: they are cumulative.
+	p.ResetStats()
+	if reg.Get(obs.PoolMisses) == 0 {
+		t.Fatal("obs counters were reset along with Stats")
+	}
+}

@@ -4,21 +4,47 @@ import (
 	"fmt"
 	"math"
 	hostrt "runtime"
+
+	"dana/internal/obs"
 )
 
 // Stats aggregates execution counters of a Machine.
+//
+// ComputeCycles and LoadCycles are *work* totals summed over all model
+// threads; Cycles is the modeled *makespan* (threads run concurrently,
+// so a merge batch contributes the slowest thread's time). The Span*
+// fields decompose that makespan exactly:
+//
+//	Cycles == SpanLoadCycles + SpanComputeCycles + MergeCycles
+//
+// always, on every path — the invariant `danactl stats` and the obs
+// tests assert. IdleCycles is the utilization complement inside merge
+// batches (thread-slots × makespan − work); it is not part of Cycles.
 type Stats struct {
-	Cycles        int64 // total accelerator cycles
-	ComputeCycles int64 // per-tuple + post-merge instruction cycles
+	Cycles        int64 // total accelerator cycles (makespan)
+	ComputeCycles int64 // per-tuple + post-merge instruction cycles (work)
 	MergeCycles   int64 // tree-bus merge and model broadcast cycles
-	LoadCycles    int64 // input FIFO -> scratchpad distribution cycles
+	LoadCycles    int64 // input FIFO -> scratchpad distribution cycles (work)
 	Tuples        int64
 	Batches       int64
 	Instructions  int64
+
+	SpanLoadCycles    int64 // critical-path share of tuple loads
+	SpanComputeCycles int64 // critical-path share of compute
+	IdleCycles        int64 // idle thread-slot cycles during merge batches
 }
 
 // Seconds converts the cycle count to simulated seconds at the clock.
 func (s Stats) Seconds(clockHz float64) float64 { return float64(s.Cycles) / clockHz }
+
+// Utilization returns the fraction of the threads' cycle capacity doing
+// work over the modeled makespan (Figure 12's compute-utilization axis).
+func (s Stats) Utilization(threads int) float64 {
+	if s.Cycles == 0 || threads < 1 {
+		return 0
+	}
+	return float64(s.LoadCycles+s.ComputeCycles) / (float64(s.Cycles) * float64(threads))
+}
 
 // Machine executes a compiled Program on a configured instance of the
 // template architecture, producing real results and cycle counts.
@@ -56,6 +82,36 @@ type Machine struct {
 	helperCh    []chan batchJob
 	helperDone  chan struct{}
 	partErrs    []error
+
+	// Observability handles (SetObs); nil handles are no-ops. Charged
+	// only by the coordinating goroutine (RunBatch/Converged), mirroring
+	// the stats deltas.
+	obsCyc       *obs.Counter
+	obsCycLoad   *obs.Counter
+	obsCycComp   *obs.Counter
+	obsCycMerge  *obs.Counter
+	obsCycIdle   *obs.Counter
+	obsTuples    *obs.Counter
+	obsBatches   *obs.Counter
+	obsInstrs    *obs.Counter
+	obsBatchHist *obs.Histogram
+}
+
+// SetObs registers the machine's counters with an observability
+// registry (obs.Noop disables). The registry's engine.cycles_* counters
+// accumulate the same exact decomposition as the Span*/Merge stats, so
+// engine.cycles_load + engine.cycles_compute + engine.cycles_merge ==
+// engine.cycles holds for any run mix.
+func (m *Machine) SetObs(r *obs.Registry) {
+	m.obsCyc = r.Counter(obs.EngineCycles)
+	m.obsCycLoad = r.Counter(obs.EngineCyclesLoad)
+	m.obsCycComp = r.Counter(obs.EngineCyclesCompute)
+	m.obsCycMerge = r.Counter(obs.EngineCyclesMerge)
+	m.obsCycIdle = r.Counter(obs.EngineCyclesIdle)
+	m.obsTuples = r.Counter(obs.EngineTuples)
+	m.obsBatches = r.Counter(obs.EngineBatches)
+	m.obsInstrs = r.Counter(obs.EngineInstrs)
+	m.obsBatchHist = r.Hist(obs.HistBatchTuples)
 }
 
 // batchJob is one helper's share of a merge batch.
@@ -450,6 +506,9 @@ func (m *Machine) RunBatch(tuples [][]float32) error {
 	}
 	m.stats.Batches++
 	m.stats.Tuples += int64(len(tuples))
+	m.obsBatches.Inc()
+	m.obsTuples.Add(int64(len(tuples)))
+	m.obsBatchHist.Observe(int64(len(tuples)))
 
 	if !p.HasMerge() {
 		var loadTot, compTot int64
@@ -474,6 +533,13 @@ func (m *Machine) RunBatch(tuples [][]float32) error {
 		m.stats.LoadCycles += loadTot
 		m.stats.ComputeCycles += compTot
 		m.stats.Cycles += loadTot + compTot
+		// Single-thread batch: the span is the work itself.
+		m.stats.SpanLoadCycles += loadTot
+		m.stats.SpanComputeCycles += compTot
+		m.obsCyc.Add(loadTot + compTot)
+		m.obsCycLoad.Add(loadTot)
+		m.obsCycComp.Add(compTot)
+		m.obsInstrs.Add(int64(len(tuples)) * int64(len(p.PerTuple)+len(p.RowUpdates)))
 		return nil
 	}
 
@@ -538,16 +604,32 @@ func (m *Machine) RunBatch(tuples [][]float32) error {
 	// Each of the k threads saw at least one tuple (k <= n), so n-k
 	// tuples paid the thread-local accumulate.
 	m.stats.Instructions += int64(n) * int64(len(p.PerTuple))
+	m.obsInstrs.Add(int64(n) * int64(len(p.PerTuple)))
 	m.stats.LoadCycles += int64(n) * m.cycLoad
 	m.stats.ComputeCycles += int64(n)*m.cycPerTuple + int64(n-k)*m.cycLocalAcc
 	// Threads run in parallel: the batch takes as long as the slowest.
-	var maxT int64
+	var maxT, sumT int64
 	for _, c := range threadCycles {
+		sumT += c
 		if c > maxT {
 			maxT = c
 		}
 	}
 	m.stats.Cycles += maxT
+	// Span decomposition: per-thread cycles grow monotonically with the
+	// thread's tuple count, so the slowest thread is one with
+	// ceil(n/k) tuples — its load share is exact, the rest of the span
+	// is compute (per-tuple programs + thread-local accumulates). Idle
+	// is the capacity the other thread-slots wasted waiting for it.
+	tmax := int64((n + k - 1) / k)
+	spanLoad := tmax * m.cycLoad
+	m.stats.SpanLoadCycles += spanLoad
+	m.stats.SpanComputeCycles += maxT - spanLoad
+	m.stats.IdleCycles += int64(k)*maxT - sumT
+	m.obsCyc.Add(maxT)
+	m.obsCycLoad.Add(spanLoad)
+	m.obsCycComp.Add(maxT - spanLoad)
+	m.obsCycIdle.Add(int64(k)*maxT - sumT)
 
 	// Tree-bus merge: log2(k) stages over an 8-ALU bus.
 	merged := accs[0]
@@ -569,6 +651,8 @@ func (m *Machine) RunBatch(tuples [][]float32) error {
 	}
 	m.stats.MergeCycles += mc
 	m.stats.Cycles += mc
+	m.obsCycMerge.Add(mc)
+	m.obsCyc.Add(mc)
 	copy(m.scratch[0][p.MergeDst.Base:p.MergeDst.Base+p.MergeDst.Len], merged)
 
 	// Post-merge stage on thread 0.
@@ -580,6 +664,10 @@ func (m *Machine) RunBatch(tuples [][]float32) error {
 	}
 	m.stats.ComputeCycles += m.cycPostMerge + m.cycRowUpdates
 	m.stats.Cycles += m.cycPostMerge + m.cycRowUpdates
+	m.stats.SpanComputeCycles += m.cycPostMerge + m.cycRowUpdates
+	m.obsCycComp.Add(m.cycPostMerge + m.cycRowUpdates)
+	m.obsCyc.Add(m.cycPostMerge + m.cycRowUpdates)
+	m.obsInstrs.Add(int64(len(p.PostMerge) + len(p.RowUpdates)))
 
 	// Model update + broadcast to every thread over the bus.
 	if p.UpdatedSlot.Len > 0 {
@@ -591,6 +679,8 @@ func (m *Machine) RunBatch(tuples [][]float32) error {
 		bc := int64(ceilDiv(p.ModelSlot.Len, 8))
 		m.stats.MergeCycles += bc
 		m.stats.Cycles += bc
+		m.obsCycMerge.Add(bc)
+		m.obsCyc.Add(bc)
 	} else if len(p.RowUpdates) > 0 && m.Cfg.Threads > 1 {
 		// Row updates landed on thread 0's model copy; sync the rest.
 		src := m.scratch[0][p.ModelSlot.Base : p.ModelSlot.Base+p.ModelSlot.Len]
@@ -600,6 +690,8 @@ func (m *Machine) RunBatch(tuples [][]float32) error {
 		bc := int64(ceilDiv(p.ModelSlot.Len, 8))
 		m.stats.MergeCycles += bc
 		m.stats.Cycles += bc
+		m.obsCycMerge.Add(bc)
+		m.obsCyc.Add(bc)
 	}
 	return nil
 }
@@ -700,6 +792,10 @@ func (m *Machine) Converged() (bool, error) {
 	}
 	m.stats.ComputeCycles += m.cycConvergence
 	m.stats.Cycles += m.cycConvergence
+	m.stats.SpanComputeCycles += m.cycConvergence
+	m.obsCycComp.Add(m.cycConvergence)
+	m.obsCyc.Add(m.cycConvergence)
+	m.obsInstrs.Add(int64(len(p.Convergence)))
 	return m.scratch[0][p.ConvSlot.Base] > 0.5, nil
 }
 

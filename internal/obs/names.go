@@ -1,0 +1,65 @@
+package obs
+
+// Canonical instrument names — the counter taxonomy shared by the
+// instrumented subsystems, the CLIs, and the CI bench gate. Names are
+// dotted `<layer>.<metric>`; layers match package names.
+const (
+	// Buffer pool (internal/bufpool): PoolHits+PoolMisses equals the
+	// number of Pin requests; PoolSweepSteps counts clock-hand
+	// advances during eviction (pressure indicator).
+	PoolHits       = "bufpool.hits"
+	PoolMisses     = "bufpool.misses"
+	PoolEvictions  = "bufpool.evictions"
+	PoolSweepSteps = "bufpool.sweep_steps"
+	PoolBytesRead  = "bufpool.bytes_read"
+	PoolIOSeconds  = "bufpool.io_seconds" // float
+
+	// Access engine / Striders (internal/accessengine, internal/strider):
+	// modeled page-walk activity. StriderCycles is the group-max modeled
+	// time (NumStriders pages unpack concurrently); StriderCyclesTotal
+	// is the per-Strider sum, so utilization = total/(cycles*striders).
+	StriderPages       = "strider.pages_walked"
+	StriderTuples      = "strider.tuples_extracted"
+	StriderBytes       = "strider.bytes_decoded"
+	StriderInstrs      = "strider.vm_instructions"
+	StriderCycles      = "strider.cycles"
+	StriderCyclesTotal = "strider.cycles_total"
+
+	// Execution engine (internal/engine): the critical-path (span)
+	// cycle split. Invariant: EngineCyclesLoad + EngineCyclesCompute +
+	// EngineCyclesMerge == EngineCycles, exactly. EngineCyclesIdle is
+	// thread-slot idle time inside merge batches (threads*span − work),
+	// the Figure 12 utilization complement; it is NOT part of the total.
+	EngineCycles        = "engine.cycles"
+	EngineCyclesLoad    = "engine.cycles_load"
+	EngineCyclesCompute = "engine.cycles_compute"
+	EngineCyclesMerge   = "engine.cycles_merge"
+	EngineCyclesIdle    = "engine.cycles_idle"
+	EngineTuples        = "engine.tuples"
+	EngineBatches       = "engine.batches"
+	EngineInstrs        = "engine.instructions"
+
+	// Runtime (internal/runtime): host-side execution. Epoch wall time
+	// is also observed as histogram HistEpochWallNs; worker busy time
+	// sums Strider-extraction nanoseconds across workers, so occupancy
+	// = busy / (wall * workers).
+	RuntimeEpochs       = "runtime.epochs"
+	RuntimeEpochCached  = "runtime.epochs_cached"
+	RuntimeCacheHits    = "runtime.record_cache_hits"
+	RuntimeCacheMisses  = "runtime.record_cache_misses"
+	RuntimeWorkerBusyNs = "runtime.worker_busy_ns"
+	RuntimeEpochWallNs  = "runtime.epoch_wall_ns"
+	RuntimeTrainWallNs  = "runtime.train_wall_ns"
+	RuntimeTrainRuns    = "runtime.train_runs"
+
+	// Histograms.
+	HistEpochWallNs = "runtime.epoch_wall_ns.hist"
+	HistBatchTuples = "engine.batch_tuples.hist"
+
+	// Trace event names.
+	EvTrainStart  = "train.start"     // a=epoch budget, b=tuples/page count
+	EvTrainDone   = "train.done"      // a=epochs run, b=engine cycles
+	EvEpoch       = "epoch"           // a=epoch index, b=wall ns
+	EvEpochCached = "epoch.cached"    // a=epoch index, b=wall ns
+	EvPoolInval   = "pool.invalidate" // a=frames dropped
+)

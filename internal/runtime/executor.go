@@ -30,9 +30,11 @@ package runtime
 import (
 	hostrt "runtime"
 	"sync"
+	"time"
 
 	"dana/internal/accessengine"
 	"dana/internal/engine"
+	"dana/internal/obs"
 	"dana/internal/storage"
 )
 
@@ -138,14 +140,37 @@ func (s *System) newEpochRunner(ae *accessengine.Engine, rel *storage.Relation, 
 // runEpoch extracts every page of the relation and runs the engine over
 // the tuples, overlapping the two when workers > 1. Cached epochs skip
 // the buffer pool and Strider walk entirely, replaying the identical
-// modeled counters.
-func (r *epochRunner) runEpoch() error {
+// modeled counters. epoch is the zero-based epoch index (trace only).
+func (r *epochRunner) runEpoch(epoch int) error {
+	start := time.Now()
+	cached := false
+	var err error
 	if r.cacheOK {
 		if ent := r.s.cache.lookup(r.rel, r.s.DB.Pool.InvalidationCount()); ent != nil {
-			return r.replay(ent)
+			cached = true
+			r.s.obsCacheHits.Inc()
+			err = r.replay(ent)
+		} else {
+			r.s.obsCacheMisses.Inc()
+			err = r.extractEpoch()
 		}
+	} else {
+		err = r.extractEpoch()
 	}
-	return r.extractEpoch()
+	if err != nil {
+		return err
+	}
+	wall := time.Since(start).Nanoseconds()
+	r.s.obsEpochs.Inc()
+	r.s.obsEpochWall.Add(wall)
+	r.s.obsEpochHist.Observe(wall)
+	if cached {
+		r.s.obsEpochsCached.Inc()
+		r.s.obs.Trace(obs.EvEpochCached, int64(epoch), wall)
+	} else {
+		r.s.obs.Trace(obs.EvEpoch, int64(epoch), wall)
+	}
+	return nil
 }
 
 // replay charges the cached per-page counters (in page order, preserving
@@ -223,7 +248,10 @@ func (r *epochRunner) extractSerial(sink func(*accessengine.PageResult) error, r
 				res = &shared
 				res.PageNo = int(pinned[i])
 			}
-			if err := r.ae.ExtractPage(i, pg, res); err != nil {
+			busyStart := time.Now()
+			err := r.ae.ExtractPage(i, pg, res)
+			r.s.obsWorkerBusy.Add(time.Since(busyStart).Nanoseconds())
+			if err != nil {
 				return err
 			}
 			if err := sink(res); err != nil {
@@ -279,6 +307,8 @@ func (r *epochRunner) extractParallel(sink func(*accessengine.PageResult) error,
 		go func(i int) {
 			defer wg.Done()
 			defer close(outs[i])
+			var busy time.Duration
+			defer func() { r.s.obsWorkerBusy.Add(busy.Nanoseconds()) }()
 			for pn := i; pn < n; pn += w {
 				pg, err := r.s.DB.Pool.Pin(r.rel.Name, uint32(pn))
 				if err != nil {
@@ -296,7 +326,9 @@ func (r *epochRunner) extractParallel(sink func(*accessengine.PageResult) error,
 					res = new(accessengine.PageResult)
 				}
 				res.PageNo = pn
+				busyStart := time.Now()
 				err = r.ae.ExtractPage(i, pg, res)
+				busy += time.Since(busyStart)
 				// The arena holds copies of the tuple values, so the frame
 				// can be released before the engine consumes the batch.
 				if uerr := r.s.DB.Pool.Unpin(r.rel.Name, uint32(pn)); err == nil {

@@ -8,6 +8,7 @@ package runtime
 
 import (
 	"fmt"
+	"time"
 
 	"dana/internal/accessengine"
 	"dana/internal/bufpool"
@@ -19,6 +20,7 @@ import (
 	"dana/internal/engine"
 	"dana/internal/hwgen"
 	"dana/internal/ml"
+	"dana/internal/obs"
 	"dana/internal/sql"
 	"dana/internal/storage"
 	"dana/internal/strider"
@@ -46,6 +48,15 @@ type Options struct {
 	// NoExtractCache disables the cross-epoch extracted-record cache, so
 	// every epoch re-walks the heap pages through the Striders.
 	NoExtractCache bool
+
+	// Obs supplies the observability registry every subsystem charges
+	// (nil = the System creates its own enabled registry). Observation
+	// is strictly additive: modeled cycles, simulated seconds, and
+	// trained models are bit-identical with obs on, off, or shared.
+	Obs *obs.Registry
+	// DisableObs runs the system dark (obs.Noop): every counter site
+	// degrades to a nil-check. Overrides Obs.
+	DisableObs bool
 }
 
 // DefaultOptions mirrors the paper's default setup: 32 KB pages, 8 GB
@@ -68,6 +79,18 @@ type System struct {
 	DB   *sql.DB
 
 	cache recordCache // cross-epoch extracted-record cache
+
+	obs *obs.Registry // observability registry (obs.Noop when disabled)
+	// Cached runtime-layer instrument handles (nil-safe no-ops when dark).
+	obsEpochs       *obs.Counter
+	obsEpochsCached *obs.Counter
+	obsCacheHits    *obs.Counter
+	obsCacheMisses  *obs.Counter
+	obsWorkerBusy   *obs.Counter
+	obsEpochWall    *obs.Counter
+	obsTrainWall    *obs.Counter
+	obsTrainRuns    *obs.Counter
+	obsEpochHist    *obs.Histogram
 }
 
 // New creates the system and installs it as the SQL executor's UDF
@@ -81,8 +104,30 @@ func New(opts Options) *System {
 		DB:   sql.NewDB(opts.PageSize, opts.PoolBytes, opts.Disk),
 	}
 	s.DB.Runner = s
+	reg := opts.Obs
+	if opts.DisableObs {
+		reg = obs.Noop
+	} else if reg == nil {
+		reg = obs.New()
+	}
+	s.obs = reg
+	s.DB.Pool.SetObs(reg)
+	s.obsEpochs = reg.Counter(obs.RuntimeEpochs)
+	s.obsEpochsCached = reg.Counter(obs.RuntimeEpochCached)
+	s.obsCacheHits = reg.Counter(obs.RuntimeCacheHits)
+	s.obsCacheMisses = reg.Counter(obs.RuntimeCacheMisses)
+	s.obsWorkerBusy = reg.Counter(obs.RuntimeWorkerBusyNs)
+	s.obsEpochWall = reg.Counter(obs.RuntimeEpochWallNs)
+	s.obsTrainWall = reg.Counter(obs.RuntimeTrainWallNs)
+	s.obsTrainRuns = reg.Counter(obs.RuntimeTrainRuns)
+	s.obsEpochHist = reg.Hist(obs.HistEpochWallNs)
 	return s
 }
+
+// Obs returns the system's observability registry (obs.Noop when the
+// system runs dark). Snapshot it for the JSON export, or read counters
+// programmatically via Get.
+func (s *System) Obs() *obs.Registry { return s.obs }
 
 // Catalog returns the system catalog.
 func (s *System) Catalog() *catalog.Catalog { return s.DB.Cat }
@@ -218,10 +263,12 @@ func (s *System) Train(udfName, table string) (*TrainResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	ae.SetObs(s.obs)
 	machine, err := engine.NewMachine(acc.Program, acc.Design.Engine)
 	if err != nil {
 		return nil, err
 	}
+	machine.SetObs(s.obs)
 	defer machine.Close() // releases batch fan-out helpers, if any
 	// LRMF-style factor models cannot start at zero (a stationary
 	// point); seed them with the same small uniform initialization the
@@ -248,8 +295,11 @@ func (s *System) Train(udfName, table string) (*TrainResult, error) {
 	}
 	res := &TrainResult{UDF: udfName, Table: table, Design: acc.Design}
 	runner := s.newEpochRunner(ae, rel, machine, udf.Graph.MergeCoef)
+	trainStart := time.Now()
+	s.obsTrainRuns.Inc()
+	s.obs.Trace(obs.EvTrainStart, int64(epochs), int64(rel.NumPages()))
 	for e := 0; e < epochs; e++ {
-		if err := runner.runEpoch(); err != nil {
+		if err := runner.runEpoch(e); err != nil {
 			return nil, err
 		}
 		res.Epochs++
@@ -261,6 +311,8 @@ func (s *System) Train(udfName, table string) (*TrainResult, error) {
 			break
 		}
 	}
+	s.obsTrainWall.Add(time.Since(trainStart).Nanoseconds())
+	s.obs.Trace(obs.EvTrainDone, int64(res.Epochs), machine.Stats().Cycles)
 	res.Model = machine.Model()
 	res.Engine = machine.Stats()
 	res.Access = ae.Stats()

@@ -21,7 +21,8 @@ type VM struct {
 	page   []byte
 	out    []byte
 	cycles int64
-	writes int // count of writeB-modified bytes
+	steps  int64 // instructions retired
+	writes int   // count of writeB-modified bytes
 }
 
 // Default step bound: generous for a 32 KB page walk.
@@ -41,6 +42,10 @@ func (vm *VM) Out() []byte { return vm.out }
 // Cycles returns the cycle count of the last Run.
 func (vm *VM) Cycles() int64 { return vm.cycles }
 
+// Steps returns how many instructions the last Run retired (cycles
+// minus the extra byte-move cycles of cln/ins).
+func (vm *VM) Steps() int64 { return vm.steps }
+
 // BytesWritten returns how many page bytes writeB modified in the last Run.
 func (vm *VM) BytesWritten() int { return vm.writes }
 
@@ -50,6 +55,7 @@ func (vm *VM) Run(page []byte) error {
 	vm.page = page
 	vm.out = vm.out[:0]
 	vm.cycles = 0
+	vm.steps = 0
 	vm.writes = 0
 	vm.t = [NumTempRegs]uint64{}
 	vm.cr = vm.Config.CR
@@ -66,6 +72,7 @@ func (vm *VM) Run(page []byte) error {
 		}
 		in := vm.Prog[pc]
 		vm.cycles++
+		vm.steps++
 		switch in.Op {
 		case OpReadB:
 			addr, n := vm.val(in.A), vm.val(in.B)

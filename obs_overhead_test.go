@@ -1,0 +1,73 @@
+package dana
+
+// Overhead guard for the observability layer: training with the
+// counters enabled must cost < 5% extra wall time over obs.Noop on an
+// end-to-end LR train. The obs charge sites run per page / per batch,
+// not per tuple, so the real overhead is far below the gate; the gate
+// exists so a future change that accidentally puts an instrument in a
+// per-tuple loop fails loudly.
+
+import (
+	"sort"
+	"testing"
+	"time"
+)
+
+func trainWallOnce(t *testing.T, disable bool) time.Duration {
+	t.Helper()
+	eng, err := Open(Config{
+		PageSize: 32 << 10, PoolBytes: 128 << 20,
+		Workers: 1, NoExtractCache: true, DisableObs: disable,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := eng.LoadWorkload("Remote Sensing LR", 0.02, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := d.DSLAlgo(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.SetEpochs(2)
+	if err := eng.RegisterUDF(a, 64); err != nil {
+		t.Fatal(err)
+	}
+	// Warm the pool and the process (JIT-free, but page cache, branch
+	// predictors, and the allocator all settle on the first run).
+	if _, err := eng.Train(a.Name, d.Rel.Name); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := eng.Train(a.Name, d.Rel.Name); err != nil {
+		t.Fatal(err)
+	}
+	return time.Since(start)
+}
+
+func TestObsOverheadBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock measurement; skipped in -short mode")
+	}
+	// Interleave on/off measurements so slow drift (thermal, noisy
+	// neighbors) hits both sides equally, then compare medians.
+	const rounds = 7
+	var on, off []float64
+	for i := 0; i < rounds; i++ {
+		on = append(on, trainWallOnce(t, false).Seconds())
+		off = append(off, trainWallOnce(t, true).Seconds())
+	}
+	median := func(xs []float64) float64 {
+		s := append([]float64(nil), xs...)
+		sort.Float64s(s)
+		return s[len(s)/2]
+	}
+	mOn, mOff := median(on), median(off)
+	overhead := mOn/mOff - 1
+	t.Logf("obs on %.3fms, off %.3fms, overhead %.2f%%", mOn*1e3, mOff*1e3, 100*overhead)
+	if overhead > 0.05 {
+		t.Fatalf("observability overhead %.2f%% exceeds the 5%% budget (on %.3fms vs off %.3fms)",
+			100*overhead, mOn*1e3, mOff*1e3)
+	}
+}
