@@ -14,12 +14,14 @@ package dana
 
 import (
 	"fmt"
+	"time"
 
 	"dana/internal/bufpool"
 	"dana/internal/catalog"
 	"dana/internal/cost"
 	"dana/internal/datagen"
 	"dana/internal/dsl"
+	"dana/internal/fault"
 	"dana/internal/greenplum"
 	"dana/internal/hwgen"
 	"dana/internal/madlib"
@@ -55,6 +57,31 @@ type Config struct {
 	// Counters never feed back into the model either way — modeled
 	// cycles and trained models are bit-identical on or off.
 	DisableObs bool
+	// Faults attaches a seeded fault-injection schedule (chaos testing):
+	// simulated disk errors and latency spikes, torn/bit-flipped pages,
+	// Strider VM traps, and analytic-cluster failures. nil (the default)
+	// disables injection entirely; with nil Faults the engine's modeled
+	// cycles and trained models are bit-identical to a build without the
+	// fault framework.
+	Faults *fault.Injector
+	// EpochTimeout bounds each training epoch's wall-clock time (0 = no
+	// bound). An expired epoch surfaces fault.ErrEpochTimeout and, unless
+	// DisableCPUFallback is set, degrades the run to the CPU path.
+	EpochTimeout time.Duration
+	// MaxPageRetries bounds same-Strider re-walks after a VM trap before
+	// the worker is quarantined (0 = default 3, negative = none).
+	MaxPageRetries int
+	// MaxReadRetries bounds buffer-pool page-read retries on injected
+	// I/O or checksum failures (0 = default 3, negative = none).
+	MaxReadRetries int
+	// DisableCPUFallback turns off graceful degradation: accelerator
+	// faults that survive retry and quarantine surface as typed errors
+	// instead of completing the run on the golden CPU trainer.
+	DisableCPUFallback bool
+	// VerifyChecksums forces per-page checksum verification on every
+	// buffer-pool read even without an attached fault schedule (checksums
+	// are always verified when Faults is non-nil).
+	VerifyChecksums bool
 }
 
 // Defaults returns the paper's default setup at in-process scale.
@@ -85,6 +112,12 @@ func Open(cfg Config) (*Engine, error) {
 	opts.PipelineDepth = cfg.PipelineDepth
 	opts.NoExtractCache = cfg.NoExtractCache
 	opts.DisableObs = cfg.DisableObs
+	opts.Faults = cfg.Faults
+	opts.EpochTimeout = cfg.EpochTimeout
+	opts.MaxPageRetries = cfg.MaxPageRetries
+	opts.MaxReadRetries = cfg.MaxReadRetries
+	opts.DisableCPUFallback = cfg.DisableCPUFallback
+	opts.VerifyChecksums = cfg.VerifyChecksums
 	return &Engine{sys: runtime.New(opts)}, nil
 }
 
@@ -154,6 +187,22 @@ func (e *Engine) CostParams() cost.Params { return e.sys.Opts.Cost }
 
 // FPGA returns the modeled device (Xilinx VU9P by default).
 func (e *Engine) FPGA() hwgen.FPGA { return e.sys.Opts.FPGA }
+
+// --- Fault injection ---------------------------------------------------
+
+// FaultConfig re-exports the seeded fault-injection schedule
+// (rates per injection point, transient-attempt budget, stall and
+// latency-spike magnitudes).
+type FaultConfig = fault.Config
+
+// FaultInjector re-exports the deterministic injector handed to
+// Config.Faults.
+type FaultInjector = fault.Injector
+
+// NewFaultInjector builds an injector from a schedule. The same seed
+// and rates reproduce the same fault pattern regardless of host
+// scheduling.
+func NewFaultInjector(cfg FaultConfig) *FaultInjector { return fault.New(cfg) }
 
 // --- Workloads ---------------------------------------------------------
 

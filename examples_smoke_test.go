@@ -1,0 +1,51 @@
+package dana_test
+
+// Smoke test for the examples/ programs: each one must build and run to
+// completion against the current API. The programs train at small scale,
+// so the whole sweep stays in CI budget; -short skips it.
+
+import (
+	"context"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestExamplesBuildAndRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples smoke test skipped in -short mode")
+	}
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatalf("reading examples/: %v", err)
+	}
+	ran := 0
+	for _, ent := range entries {
+		if !ent.IsDir() {
+			continue
+		}
+		name := ent.Name()
+		if _, err := os.Stat(filepath.Join("examples", name, "main.go")); err != nil {
+			continue
+		}
+		ran++
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+			defer cancel()
+			cmd := exec.CommandContext(ctx, "go", "run", "./examples/"+name)
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("go run ./examples/%s failed: %v\n%s", name, err, out)
+			}
+			if len(out) == 0 {
+				t.Errorf("examples/%s produced no output", name)
+			}
+		})
+	}
+	if ran == 0 {
+		t.Fatal("no runnable example programs found under examples/")
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math"
 
+	"dana/internal/fault"
 	"dana/internal/obs"
 	"dana/internal/storage"
 	"dana/internal/strider"
@@ -34,6 +35,8 @@ type Engine struct {
 	// flat little-endian float32 stream, decodable without the per-column
 	// type dispatch.
 	allF32 bool
+
+	faults *fault.Injector
 
 	stats Stats
 
@@ -78,6 +81,10 @@ func (e *Engine) SetObs(r *obs.Registry) {
 	e.obsCyc = r.Counter(obs.StriderCycles)
 	e.obsCycTot = r.Counter(obs.StriderCyclesTotal)
 }
+
+// SetFaults attaches a fault-injection schedule: ExtractPage then asks
+// the injector whether the (strider, page) walk traps (nil detaches).
+func (e *Engine) SetFaults(in *fault.Injector) { e.faults = in }
 
 // New builds the engine: it generates the Strider program for the page
 // layout (compiler step) and instantiates the page-buffer/Strider pairs.
@@ -175,9 +182,12 @@ type PageResult struct {
 // concurrently as long as each goroutine uses a distinct vmIdx — the
 // host-parallel analogue of the S independent Striders.
 func (e *Engine) ExtractPage(vmIdx int, page storage.Page, res *PageResult) error {
+	if err := e.faults.TrapFault(vmIdx, res.PageNo); err != nil {
+		return err
+	}
 	vm := e.vms[vmIdx]
 	if err := vm.Run(page); err != nil {
-		return err
+		return fmt.Errorf("accessengine: strider %d, page %d: %w", vmIdx, res.PageNo, err)
 	}
 	out := vm.Out()
 	w := e.Schema.DataWidth()

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sync"
 
+	"dana/internal/fault"
 	"dana/internal/obs"
 	"dana/internal/storage"
 )
@@ -27,6 +28,10 @@ func (id PageID) String() string { return fmt.Sprintf("%s:%d", id.Rel, id.Page) 
 
 // ErrNoFreeFrames is returned when every frame is pinned.
 var ErrNoFreeFrames = errors.New("bufpool: all buffer frames are pinned")
+
+// defaultMaxReadRetries is the re-read budget after a failed or corrupt
+// read when Pool.MaxReadRetries is unset.
+const defaultMaxReadRetries = 3
 
 // DiskModel describes the simulated storage device.
 type DiskModel struct {
@@ -52,8 +57,18 @@ type Stats struct {
 	Misses    int64
 	Evictions int64
 	BytesRead int64
-	// IOSeconds is total simulated time spent on disk reads.
+	// IOSeconds is total simulated time spent on disk reads (including
+	// failed attempts and injected latency spikes, but not backoff).
 	IOSeconds float64
+
+	// Fault-handling counters. Retries counts re-read attempts after an
+	// injected I/O error or a checksum mismatch; BackoffSeconds is the
+	// simulated exponential backoff charged between those attempts.
+	// ChecksumFailures counts mismatches seen, including ones a retry
+	// recovered from.
+	Retries          int64
+	BackoffSeconds   float64
+	ChecksumFailures int64
 }
 
 // HitRatio returns hits / (hits+misses), or 1 when there were no accesses.
@@ -89,18 +104,33 @@ type Pool struct {
 	// VerifyChecksums makes every miss validate the page checksum
 	// (when one is stamped), modeling PostgreSQL's data_checksums:
 	// torn or corrupted pages fail the read instead of reaching the
-	// Striders.
+	// Striders. Checksums are also verified whenever a fault injector
+	// is attached (corruption must be catchable); otherwise the check
+	// is skipped and counted as skipped via obs.
 	VerifyChecksums bool
+
+	// MaxReadRetries bounds re-read attempts after a failed or corrupt
+	// read before Pin gives up with a typed error (0 = default 3,
+	// negative = no retries). Each retry charges capped exponential
+	// backoff to Stats.BackoffSeconds on the simulated clock.
+	MaxReadRetries int
+
+	faults *fault.Injector
 
 	// Observability handles (SetObs). Nil handles are no-ops, so an
 	// un-instrumented pool pays one branch per counter site.
-	obsHits   *obs.Counter
-	obsMisses *obs.Counter
-	obsEvict  *obs.Counter
-	obsSweep  *obs.Counter
-	obsBytes  *obs.Counter
-	obsIOSec  *obs.FloatCounter
-	obsRing   *obs.Ring
+	obsHits       *obs.Counter
+	obsMisses     *obs.Counter
+	obsEvict      *obs.Counter
+	obsSweep      *obs.Counter
+	obsBytes      *obs.Counter
+	obsIOSec      *obs.FloatCounter
+	obsRetries    *obs.Counter
+	obsBackoff    *obs.FloatCounter
+	obsCkVerified *obs.Counter
+	obsCkSkipped  *obs.Counter
+	obsCkFailed   *obs.Counter
+	obsRing       *obs.Ring
 }
 
 // SetObs registers the pool's counters with an observability registry
@@ -116,7 +146,21 @@ func (p *Pool) SetObs(r *obs.Registry) {
 	p.obsSweep = r.Counter(obs.PoolSweepSteps)
 	p.obsBytes = r.Counter(obs.PoolBytesRead)
 	p.obsIOSec = r.Float(obs.PoolIOSeconds)
+	p.obsRetries = r.Counter(obs.PoolReadRetries)
+	p.obsBackoff = r.Float(obs.PoolBackoffSeconds)
+	p.obsCkVerified = r.Counter(obs.PoolChecksumVerified)
+	p.obsCkSkipped = r.Counter(obs.PoolChecksumSkipped)
+	p.obsCkFailed = r.Counter(obs.PoolChecksumFailed)
 	p.obsRing = r.Ring()
+}
+
+// SetFaults attaches a fault-injection schedule to the pool's read
+// path (nil detaches). With an injector attached, every miss verifies
+// the page checksum.
+func (p *Pool) SetFaults(in *fault.Injector) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.faults = in
 }
 
 // New creates a pool of nframes frames for pages of pageSize bytes.
@@ -244,20 +288,10 @@ func (p *Pool) Pin(rel string, pageNo uint32) (storage.Page, error) {
 		p.obsHits.Inc()
 		return f.page, nil
 	}
-	// Miss: find a victim via clock sweep.
+	// Miss: find a victim via clock sweep, then read with retry.
 	r, ok := p.rels[rel]
 	if !ok {
 		return nil, fmt.Errorf("bufpool: unknown relation %q", rel)
-	}
-	src, err := r.Page(int(pageNo))
-	if err != nil {
-		return nil, err
-	}
-	if p.VerifyChecksums {
-		if stored := src.Checksum(); stored != 0 && stored != src.ComputeChecksum() {
-			return nil, fmt.Errorf("bufpool: checksum failure on %v: stored %#x, computed %#x",
-				id, stored, src.ComputeChecksum())
-		}
 	}
 	fi, err := p.evictLocked()
 	if err != nil {
@@ -266,13 +300,68 @@ func (p *Pool) Pin(rel string, pageNo uint32) (storage.Page, error) {
 	f := &p.frames[fi]
 	if f.valid {
 		delete(p.table, f.id)
+		f.valid = false
 		p.stats.Evictions++
 		p.obsEvict.Inc()
 	}
 	if f.page == nil {
 		f.page = make(storage.Page, p.pageSize)
 	}
-	copy(f.page, src)
+	retries := p.MaxReadRetries
+	switch {
+	case retries == 0:
+		retries = defaultMaxReadRetries
+	case retries < 0:
+		retries = 0
+	}
+	verify := p.VerifyChecksums || p.faults != nil
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		lastErr = nil
+		if ierr := p.faults.ReadFault(rel, pageNo); ierr != nil {
+			// The failed request still spent its latency on the device.
+			p.stats.IOSeconds += p.disk.ReadLatencySec
+			p.obsIOSec.Add(p.disk.ReadLatencySec)
+			lastErr = fmt.Errorf("bufpool: read %v: %w", id, ierr)
+		} else {
+			src, rerr := r.Page(int(pageNo))
+			if rerr != nil {
+				// Structural miss (no such page): not retriable.
+				return nil, rerr
+			}
+			copy(f.page, src)
+			p.faults.CorruptCopy(rel, pageNo, f.page)
+			rt := p.disk.ReadTime(p.pageSize) + p.faults.ReadLatencySec(rel, pageNo)
+			p.stats.IOSeconds += rt
+			p.obsIOSec.Add(rt)
+			if verify {
+				p.obsCkVerified.Inc()
+				if !f.page.ChecksumOK() {
+					p.stats.ChecksumFailures++
+					p.obsCkFailed.Inc()
+					p.obsRing.Emit(obs.EvChecksumFail, int64(pageNo), int64(attempt))
+					lastErr = fmt.Errorf("bufpool: %v: stored checksum %#x != computed %#x: %w",
+						id, f.page.Checksum(), f.page.ComputeChecksum(), fault.ErrTornPage)
+				}
+			} else {
+				p.obsCkSkipped.Inc()
+			}
+		}
+		if lastErr == nil {
+			break
+		}
+		if attempt >= retries {
+			return nil, fmt.Errorf("bufpool: giving up on %v after %d attempts: %w", id, attempt+1, lastErr)
+		}
+		// Retry after capped exponential backoff on the simulated clock:
+		// a torn page or transient I/O error is re-read from the source.
+		back := fault.BackoffSec(attempt, p.disk.ReadLatencySec)
+		p.stats.Retries++
+		p.stats.BackoffSeconds += back
+		p.obsRetries.Inc()
+		p.obsBackoff.Add(back)
+		p.obsRing.Emit(obs.EvReadRetry, int64(pageNo), int64(attempt))
+	}
 	f.id = id
 	f.valid = true
 	f.dirty = false
@@ -281,10 +370,8 @@ func (p *Pool) Pin(rel string, pageNo uint32) (storage.Page, error) {
 	p.table[id] = fi
 	p.stats.Misses++
 	p.stats.BytesRead += int64(p.pageSize)
-	p.stats.IOSeconds += p.disk.ReadTime(p.pageSize)
 	p.obsMisses.Inc()
 	p.obsBytes.Add(int64(p.pageSize))
-	p.obsIOSec.Add(p.disk.ReadTime(p.pageSize))
 	return f.page, nil
 }
 

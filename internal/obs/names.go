@@ -14,6 +14,17 @@ const (
 	PoolBytesRead  = "bufpool.bytes_read"
 	PoolIOSeconds  = "bufpool.io_seconds" // float
 
+	// Buffer-pool fault handling: read retries after injected I/O errors
+	// or checksum failures, simulated backoff charged between attempts,
+	// and the checksum-verification outcome split (verified + skipped ==
+	// pool misses; failures count mismatches, including ones a retry
+	// later recovered).
+	PoolReadRetries      = "bufpool.read_retries"
+	PoolBackoffSeconds   = "bufpool.backoff_seconds" // float
+	PoolChecksumVerified = "bufpool.checksum_verified"
+	PoolChecksumSkipped  = "bufpool.checksum_skipped"
+	PoolChecksumFailed   = "bufpool.checksum_failures"
+
 	// Access engine / Striders (internal/accessengine, internal/strider):
 	// modeled page-walk activity. StriderCycles is the group-max modeled
 	// time (NumStriders pages unpack concurrently); StriderCyclesTotal
@@ -43,6 +54,15 @@ const (
 	// is also observed as histogram HistEpochWallNs; worker busy time
 	// sums Strider-extraction nanoseconds across workers, so occupancy
 	// = busy / (wall * workers).
+	// Runtime fault recovery: page-level extraction retries, Strider
+	// workers quarantined, epochs re-run after quarantine, epochs that
+	// hit their deadline, and trainings degraded to the CPU path.
+	RuntimePageRetries  = "runtime.page_retries"
+	RuntimeQuarantines  = "runtime.worker_quarantines"
+	RuntimeEpochRetries = "runtime.epoch_retries"
+	RuntimeEpochTimeout = "runtime.epoch_timeouts"
+	RuntimeCPUFallbacks = "runtime.cpu_fallbacks"
+
 	RuntimeEpochs       = "runtime.epochs"
 	RuntimeEpochCached  = "runtime.epochs_cached"
 	RuntimeCacheHits    = "runtime.record_cache_hits"
@@ -62,4 +82,12 @@ const (
 	EvEpoch       = "epoch"           // a=epoch index, b=wall ns
 	EvEpochCached = "epoch.cached"    // a=epoch index, b=wall ns
 	EvPoolInval   = "pool.invalidate" // a=frames dropped
+
+	// Fault-handling trace events.
+	EvChecksumFail = "pool.checksum_fail" // a=page, b=attempt
+	EvReadRetry    = "pool.read_retry"    // a=page, b=attempt
+	EvQuarantine   = "worker.quarantine"  // a=vm index, b=failing page
+	EvEpochRetry   = "epoch.retry"        // a=epoch index, b=healthy VMs left
+	EvEpochTimeout = "epoch.timeout"      // a=epoch index, b=deadline ns
+	EvCPUFallback  = "train.cpu_fallback" // a=epoch degraded at, b=epochs left
 )

@@ -28,12 +28,15 @@ package runtime
 // TABLE), so cold-cache experiments still re-read and re-charge disk.
 
 import (
+	"errors"
+	"fmt"
 	hostrt "runtime"
 	"sync"
 	"time"
 
 	"dana/internal/accessengine"
 	"dana/internal/engine"
+	"dana/internal/fault"
 	"dana/internal/obs"
 	"dana/internal/storage"
 )
@@ -41,6 +44,10 @@ import (
 // defaultPipelineDepth is the per-worker bound on extracted-but-unconsumed
 // page batches, keeping memory bounded for large tables.
 const defaultPipelineDepth = 4
+
+// defaultMaxPageRetries is the same-Strider re-walk budget after a VM
+// trap when Options.MaxPageRetries is unset.
+const defaultMaxPageRetries = 3
 
 // recordCache holds extracted records per relation, keyed by name and
 // validated against the relation's mutation generation, its identity,
@@ -101,7 +108,34 @@ type epochRunner struct {
 	workers int
 	depth   int
 	cacheOK bool
+
+	// Fault handling. healthy lists the usable Strider VM indices:
+	// quarantine removes persistently-trapping VMs, and both extraction
+	// paths map work onto the healthy subset (VM identity never affects
+	// modeled cycles, so the mapping is free). maxPageRetries bounds
+	// same-VM re-walk attempts for a trapped page; deadline is the
+	// current epoch's wall-clock budget (zero = none).
+	faults         *fault.Injector
+	healthy        []int
+	maxPageRetries int
+	epoch          int
+	deadline       time.Time
 }
+
+// workerError carries which Strider VM failed on which page, so the
+// epoch-level recovery can quarantine the right worker. It wraps the
+// underlying typed fault error.
+type workerError struct {
+	vmIdx  int
+	pageNo int
+	err    error
+}
+
+func (w *workerError) Error() string {
+	return fmt.Sprintf("strider %d failed on page %d: %v", w.vmIdx, w.pageNo, w.err)
+}
+
+func (w *workerError) Unwrap() error { return w.err }
 
 func (s *System) newEpochRunner(ae *accessengine.Engine, rel *storage.Relation, m *engine.Machine, batch int) *epochRunner {
 	fits := rel.NumPages() <= s.DB.Pool.NumFrames()
@@ -128,12 +162,111 @@ func (s *System) newEpochRunner(ae *accessengine.Engine, rel *storage.Relation, 
 	if depth <= 0 {
 		depth = defaultPipelineDepth
 	}
+	retries := s.Opts.MaxPageRetries
+	switch {
+	case retries == 0:
+		retries = defaultMaxPageRetries
+	case retries < 0:
+		retries = 0
+	}
+	healthy := make([]int, ae.NumStriders)
+	for i := range healthy {
+		healthy[i] = i
+	}
 	return &epochRunner{
 		s: s, ae: ae, rel: rel, m: m, batch: batch,
 		fits:    fits,
 		workers: workers,
 		depth:   depth,
 		cacheOK: fits && !s.Opts.NoExtractCache,
+
+		faults:         s.Opts.Faults,
+		healthy:        healthy,
+		maxPageRetries: retries,
+	}
+}
+
+// runEpochRecover is runEpoch plus the quarantine recovery loop: when a
+// Strider VM keeps trapping after the page-level retry budget, the VM is
+// quarantined, the model is restored to its epoch-start snapshot (a
+// failed epoch must not leave partially-applied updates behind), and
+// the epoch re-runs on the healthy subset. With every VM quarantined
+// the typed fault.ErrWorkerQuarantined surfaces, which the runtime
+// treats as an accelerator fault (CPU fallback).
+func (r *epochRunner) runEpochRecover(epoch int) error {
+	var snap []float32
+	if r.faults != nil || r.s.Opts.EpochTimeout > 0 {
+		// An epoch can fail, and a failed epoch must not leave
+		// partially-applied updates behind (the CPU fallback resumes from
+		// the epoch-start model).
+		snap = r.m.Model()
+	}
+	for {
+		err := r.runEpoch(epoch)
+		if err == nil {
+			return nil
+		}
+		if snap != nil {
+			if rerr := r.m.SetModel(snap); rerr != nil {
+				return fmt.Errorf("runtime: restoring model after failed epoch: %w", rerr)
+			}
+		}
+		var we *workerError
+		if errors.As(err, &we) && errors.Is(err, fault.ErrVMTrap) {
+			r.quarantine(we.vmIdx, we.pageNo)
+			if len(r.healthy) == 0 {
+				return fmt.Errorf("runtime: epoch %d: %w: %w", epoch, err, fault.ErrWorkerQuarantined)
+			}
+			r.s.obsEpochRetries.Inc()
+			r.s.obs.Trace(obs.EvEpochRetry, int64(epoch), int64(len(r.healthy)))
+			continue
+		}
+		return err
+	}
+}
+
+// quarantine removes a persistently-trapping Strider VM from service.
+func (r *epochRunner) quarantine(vmIdx, pageNo int) {
+	for i, v := range r.healthy {
+		if v == vmIdx {
+			r.healthy = append(r.healthy[:i], r.healthy[i+1:]...)
+			break
+		}
+	}
+	r.s.obsQuarantines.Inc()
+	r.s.obs.Trace(obs.EvQuarantine, int64(vmIdx), int64(pageNo))
+}
+
+// checkDeadline enforces the per-epoch wall-clock budget cooperatively
+// (checked at page granularity by workers and coordinator alike).
+func (r *epochRunner) checkDeadline() error {
+	if r.deadline.IsZero() || time.Now().Before(r.deadline) {
+		return nil
+	}
+	return fmt.Errorf("runtime: epoch %d exceeded its %v budget: %w",
+		r.epoch, r.s.Opts.EpochTimeout, fault.ErrEpochTimeout)
+}
+
+// extract runs one page through Strider vmIdx with injected-stall and
+// trap-retry handling: a transient trap clears within the same-VM retry
+// budget; a persistent one surfaces as a *workerError for quarantine.
+func (r *epochRunner) extract(vmIdx int, pg storage.Page, res *accessengine.PageResult) error {
+	if d := r.faults.StallDelay(r.epoch, res.PageNo); d > 0 {
+		time.Sleep(d)
+	}
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = r.ae.ExtractPage(vmIdx, pg, res)
+		if err == nil {
+			return nil
+		}
+		if !errors.Is(err, fault.ErrVMTrap) {
+			return err
+		}
+		if attempt >= r.maxPageRetries {
+			return &workerError{vmIdx: vmIdx, pageNo: res.PageNo, err: err}
+		}
+		r.s.obsPageRetries.Inc()
 	}
 }
 
@@ -143,6 +276,12 @@ func (s *System) newEpochRunner(ae *accessengine.Engine, rel *storage.Relation, 
 // modeled counters. epoch is the zero-based epoch index (trace only).
 func (r *epochRunner) runEpoch(epoch int) error {
 	start := time.Now()
+	r.epoch = epoch
+	if t := r.s.Opts.EpochTimeout; t > 0 {
+		r.deadline = start.Add(t)
+	} else {
+		r.deadline = time.Time{}
+	}
 	cached := false
 	var err error
 	if r.cacheOK {
@@ -214,9 +353,15 @@ func (r *epochRunner) extractEpoch() error {
 	// EpochStream copies anything it buffers, so a consumed PageResult
 	// is immediately reusable.
 	reuse := ent == nil
+	// Quarantine can shrink the worker pool below the configured count:
+	// each live worker needs its own healthy VM.
+	w := r.workers
+	if w > len(r.healthy) {
+		w = len(r.healthy)
+	}
 	var err error
-	if r.workers > 1 {
-		err = r.extractParallel(sink, reuse)
+	if w > 1 {
+		err = r.extractParallel(w, sink, reuse)
 	} else {
 		err = r.extractSerial(sink, reuse)
 	}
@@ -241,15 +386,29 @@ func (r *epochRunner) extractSerial(sink func(*accessengine.PageResult) error, r
 	group := make([]storage.Page, 0, r.ae.NumStriders)
 	pinned := make([]uint32, 0, r.ae.NumStriders)
 	var shared accessengine.PageResult
-	flush := func() error {
+	flush := func() (err error) {
+		// Pins are released even when extraction fails mid-group: a
+		// failed epoch must leave the pool with zero pinned frames.
+		defer func() {
+			for _, pn := range pinned {
+				if uerr := r.s.DB.Pool.Unpin(r.rel.Name, pn); err == nil {
+					err = uerr
+				}
+			}
+			group = group[:0]
+			pinned = pinned[:0]
+		}()
 		for i, pg := range group {
+			if err := r.checkDeadline(); err != nil {
+				return err
+			}
 			res := &accessengine.PageResult{PageNo: int(pinned[i])}
 			if reuse {
 				res = &shared
 				res.PageNo = int(pinned[i])
 			}
 			busyStart := time.Now()
-			err := r.ae.ExtractPage(i, pg, res)
+			err := r.extract(r.healthy[i%len(r.healthy)], pg, res)
 			r.s.obsWorkerBusy.Add(time.Since(busyStart).Nanoseconds())
 			if err != nil {
 				return err
@@ -258,18 +417,15 @@ func (r *epochRunner) extractSerial(sink func(*accessengine.PageResult) error, r
 				return err
 			}
 		}
-		for _, pn := range pinned {
-			if err := r.s.DB.Pool.Unpin(r.rel.Name, pn); err != nil {
-				return err
-			}
-		}
-		group = group[:0]
-		pinned = pinned[:0]
 		return nil
 	}
 	for pn := 0; pn < n; pn++ {
 		pg, err := r.s.DB.Pool.Pin(r.rel.Name, uint32(pn))
 		if err != nil {
+			// Release the partially-accumulated group before surfacing.
+			for _, p := range pinned {
+				_ = r.s.DB.Pool.Unpin(r.rel.Name, p)
+			}
 			return err
 		}
 		group = append(group, pg)
@@ -283,13 +439,12 @@ func (r *epochRunner) extractSerial(sink func(*accessengine.PageResult) error, r
 	return flush()
 }
 
-// extractParallel fans pages out to r.workers goroutines (worker w owns
-// Strider VM w and pages pn ≡ w mod W) and delivers results to the sink
-// in page order by round-robining over the per-worker channels. Channel
-// capacity bounds the number of in-flight page batches.
-func (r *epochRunner) extractParallel(sink func(*accessengine.PageResult) error, reuse bool) error {
+// extractParallel fans pages out to w goroutines (worker i owns healthy
+// Strider VM healthy[i] and pages pn ≡ i mod w) and delivers results to
+// the sink in page order by round-robining over the per-worker channels.
+// Channel capacity bounds the number of in-flight page batches.
+func (r *epochRunner) extractParallel(w int, sink func(*accessengine.PageResult) error, reuse bool) error {
 	n := r.rel.NumPages()
-	w := r.workers
 	outs := make([]chan *accessengine.PageResult, w)
 	errCh := make(chan error, w)
 	done := make(chan struct{})
@@ -310,6 +465,10 @@ func (r *epochRunner) extractParallel(sink func(*accessengine.PageResult) error,
 			var busy time.Duration
 			defer func() { r.s.obsWorkerBusy.Add(busy.Nanoseconds()) }()
 			for pn := i; pn < n; pn += w {
+				if err := r.checkDeadline(); err != nil {
+					errCh <- err
+					return
+				}
 				pg, err := r.s.DB.Pool.Pin(r.rel.Name, uint32(pn))
 				if err != nil {
 					errCh <- err
@@ -327,7 +486,7 @@ func (r *epochRunner) extractParallel(sink func(*accessengine.PageResult) error,
 				}
 				res.PageNo = pn
 				busyStart := time.Now()
-				err = r.ae.ExtractPage(i, pg, res)
+				err = r.extract(r.healthy[i], pg, res)
 				busy += time.Since(busyStart)
 				// The arena holds copies of the tuple values, so the frame
 				// can be released before the engine consumes the batch.
@@ -348,6 +507,9 @@ func (r *epochRunner) extractParallel(sink func(*accessengine.PageResult) error,
 	}
 	var err error
 	for pn := 0; pn < n && err == nil; pn++ {
+		if err = r.checkDeadline(); err != nil {
+			break
+		}
 		res, ok := <-outs[pn%w]
 		if !ok {
 			err = <-errCh

@@ -5,12 +5,14 @@ import (
 	hostrt "runtime"
 	"testing"
 
+	"dana/internal/fault"
 	"dana/internal/storage"
 )
 
 // trainConfigured runs one full Train of a workload under the given
-// executor configuration and returns the result.
-func trainConfigured(t *testing.T, workload string, scale float64, mergeCoef, epochs, workers int, noCache bool) *TrainResult {
+// executor configuration and returns the result. mods adjust the
+// Options before the system is built (fault schedules, timeouts).
+func trainConfigured(t *testing.T, workload string, scale float64, mergeCoef, epochs, workers int, noCache bool, mods ...func(*Options)) *TrainResult {
 	t.Helper()
 	opts := DefaultOptions()
 	opts.PageSize = storage.PageSize8K
@@ -18,6 +20,9 @@ func trainConfigured(t *testing.T, workload string, scale float64, mergeCoef, ep
 	opts.MaxEpochs = epochs
 	opts.Workers = workers
 	opts.NoExtractCache = noCache
+	for _, mod := range mods {
+		mod(&opts)
+	}
 	s := New(opts)
 	d := deployScaled(t, s, workload, scale)
 	a, err := d.DSLAlgo(mergeCoef)
@@ -211,13 +216,26 @@ func TestWorkerSweepBitIdentity(t *testing.T) {
 		epochs    = 3
 	)
 	serial := trainConfigured(t, workload, scale, mergeCoef, epochs, 1, true)
+	// The grid also runs with a zero-rate fault schedule attached: the
+	// injection hooks, checksum verification, and recovery scaffolding
+	// must be invisible when no fault fires.
+	zeroFaults := func(o *Options) { o.Faults = fault.New(fault.Config{Seed: 7}) }
 	for _, workers := range []int{1, 2, 4, 8} {
-		for _, noCache := range []bool{false, true} {
+		for _, cfg := range []struct {
+			noCache bool
+			faulted bool
+		}{{false, false}, {true, false}, {false, true}, {true, true}} {
+			noCache := cfg.noCache
 			name := "cache"
 			if noCache {
 				name = "nocache"
 			}
-			got := trainConfigured(t, workload, scale, mergeCoef, epochs, workers, noCache)
+			var mods []func(*Options)
+			if cfg.faulted {
+				name += "+zerofaults"
+				mods = append(mods, zeroFaults)
+			}
+			got := trainConfigured(t, workload, scale, mergeCoef, epochs, workers, noCache, mods...)
 			if got.Epochs != serial.Epochs {
 				t.Errorf("workers=%d/%s: epochs %d != serial %d", workers, name, got.Epochs, serial.Epochs)
 			}

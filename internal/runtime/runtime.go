@@ -7,6 +7,7 @@
 package runtime
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -18,12 +19,14 @@ import (
 	"dana/internal/datagen"
 	"dana/internal/dsl"
 	"dana/internal/engine"
+	"dana/internal/fault"
 	"dana/internal/hwgen"
 	"dana/internal/ml"
 	"dana/internal/obs"
 	"dana/internal/sql"
 	"dana/internal/storage"
 	"dana/internal/strider"
+	"dana/internal/verify"
 )
 
 // Options configure a System.
@@ -48,6 +51,33 @@ type Options struct {
 	// NoExtractCache disables the cross-epoch extracted-record cache, so
 	// every epoch re-walks the heap pages through the Striders.
 	NoExtractCache bool
+
+	// Faults attaches a seeded fault-injection schedule threaded through
+	// the buffer pool (read errors, latency spikes, page corruption
+	// caught by checksums), the access engine (Strider traps), and the
+	// executor (worker stalls, cluster faults). Nil disables injection
+	// entirely: every hook degrades to a nil-check and modeled results
+	// are bit-identical to a build without the fault framework.
+	Faults *fault.Injector
+	// EpochTimeout bounds each epoch's wall-clock time (0 = none).
+	// Expiry surfaces as a typed fault.ErrEpochTimeout, which triggers
+	// the CPU fallback unless DisableCPUFallback is set.
+	EpochTimeout time.Duration
+	// MaxPageRetries bounds same-Strider re-walk attempts after a VM
+	// trap before the Strider is quarantined (0 = default 3, negative =
+	// no retries).
+	MaxPageRetries int
+	// MaxReadRetries is forwarded to bufpool.Pool.MaxReadRetries
+	// (0 = pool default, negative = no retries).
+	MaxReadRetries int
+	// DisableCPUFallback turns off graceful degradation: accelerator
+	// faults surface as typed errors instead of completing the train on
+	// the golden float64 CPU trainer.
+	DisableCPUFallback bool
+	// VerifyChecksums forces per-page checksum verification on every
+	// buffer-pool read even without an attached fault schedule (reads
+	// always verify when Faults is non-nil).
+	VerifyChecksums bool
 
 	// Obs supplies the observability registry every subsystem charges
 	// (nil = the System creates its own enabled registry). Observation
@@ -91,6 +121,12 @@ type System struct {
 	obsTrainWall    *obs.Counter
 	obsTrainRuns    *obs.Counter
 	obsEpochHist    *obs.Histogram
+	// Fault-recovery instruments.
+	obsPageRetries  *obs.Counter
+	obsQuarantines  *obs.Counter
+	obsEpochRetries *obs.Counter
+	obsEpochTimeout *obs.Counter
+	obsCPUFallbacks *obs.Counter
 }
 
 // New creates the system and installs it as the SQL executor's UDF
@@ -121,6 +157,16 @@ func New(opts Options) *System {
 	s.obsTrainWall = reg.Counter(obs.RuntimeTrainWallNs)
 	s.obsTrainRuns = reg.Counter(obs.RuntimeTrainRuns)
 	s.obsEpochHist = reg.Hist(obs.HistEpochWallNs)
+	s.obsPageRetries = reg.Counter(obs.RuntimePageRetries)
+	s.obsQuarantines = reg.Counter(obs.RuntimeQuarantines)
+	s.obsEpochRetries = reg.Counter(obs.RuntimeEpochRetries)
+	s.obsEpochTimeout = reg.Counter(obs.RuntimeEpochTimeout)
+	s.obsCPUFallbacks = reg.Counter(obs.RuntimeCPUFallbacks)
+	s.DB.Pool.MaxReadRetries = opts.MaxReadRetries
+	s.DB.Pool.VerifyChecksums = opts.VerifyChecksums
+	if opts.Faults != nil {
+		s.DB.Pool.SetFaults(opts.Faults)
+	}
 	return s
 }
 
@@ -228,6 +274,14 @@ type TrainResult struct {
 	// SimulatedSeconds is the modeled accelerator time for the run
 	// (pipeline of engine/strider/transfer at the FPGA clock) plus I/O.
 	SimulatedSeconds float64
+
+	// Degraded reports that the accelerator faulted mid-train and the
+	// remaining epochs ran on the golden float64 CPU trainer
+	// (graceful degradation). DegradedAtEpoch is the zero-based epoch
+	// the accelerator last attempted; epochs before it trained on the
+	// accelerator, epochs from it onward on the CPU.
+	Degraded        bool
+	DegradedAtEpoch int
 }
 
 // Train runs the DAnA pipeline for a registered UDF over a table:
@@ -264,6 +318,7 @@ func (s *System) Train(udfName, table string) (*TrainResult, error) {
 		return nil, err
 	}
 	ae.SetObs(s.obs)
+	ae.SetFaults(s.Opts.Faults)
 	machine, err := engine.NewMachine(acc.Program, acc.Design.Engine)
 	if err != nil {
 		return nil, err
@@ -298,9 +353,27 @@ func (s *System) Train(udfName, table string) (*TrainResult, error) {
 	trainStart := time.Now()
 	s.obsTrainRuns.Inc()
 	s.obs.Trace(obs.EvTrainStart, int64(epochs), int64(rel.NumPages()))
+	var degradeErr error
 	for e := 0; e < epochs; e++ {
-		if err := runner.runEpoch(e); err != nil {
-			return nil, err
+		err := s.Opts.Faults.ClusterFault(e)
+		if err == nil {
+			err = runner.runEpochRecover(e)
+		}
+		if err != nil {
+			if errors.Is(err, fault.ErrEpochTimeout) {
+				s.obsEpochTimeout.Inc()
+				s.obs.Trace(obs.EvEpochTimeout, int64(e), int64(s.Opts.EpochTimeout))
+			}
+			if s.Opts.DisableCPUFallback || !fault.IsAcceleratorFault(err) {
+				return nil, err
+			}
+			// Graceful degradation: the accelerator is gone but storage
+			// is intact, so the remaining epochs run on the golden
+			// float64 CPU trainer from the epoch-start model state.
+			degradeErr = err
+			res.Degraded = true
+			res.DegradedAtEpoch = e
+			break
 		}
 		res.Epochs++
 		done, err := machine.Converged()
@@ -311,9 +384,16 @@ func (s *System) Train(udfName, table string) (*TrainResult, error) {
 			break
 		}
 	}
+	if res.Degraded {
+		if err := s.trainOnCPU(res, udf, rel, machine, epochs); err != nil {
+			return nil, fmt.Errorf("runtime: CPU fallback after accelerator fault (%v) failed: %w", degradeErr, err)
+		}
+	}
 	s.obsTrainWall.Add(time.Since(trainStart).Nanoseconds())
 	s.obs.Trace(obs.EvTrainDone, int64(res.Epochs), machine.Stats().Cycles)
-	res.Model = machine.Model()
+	if !res.Degraded {
+		res.Model = machine.Model()
+	}
 	res.Engine = machine.Stats()
 	res.Access = ae.Stats()
 	res.Pool = s.DB.Pool.Stats()
@@ -332,6 +412,41 @@ func (s *System) Train(udfName, table string) (*TrainResult, error) {
 	}
 	res.SimulatedSeconds = pipe + res.Pool.IOSeconds + s.Opts.Cost.SetupSec
 	return res, nil
+}
+
+// trainOnCPU completes a degraded training run on the golden float64
+// CPU trainer (internal/verify): it picks up the machine's epoch-start
+// model, re-reads the tuples from the heap (narrowed through float32,
+// matching the Strider datapath), and runs the remaining epoch budget.
+// The downgrade is surfaced via the runtime.cpu_fallbacks counter and a
+// train.cpu_fallback trace event — never a panic, never a silent wrong
+// model.
+func (s *System) trainOnCPU(res *TrainResult, udf *catalog.UDF, rel *storage.Relation, m *engine.Machine, totalEpochs int) error {
+	s.obsCPUFallbacks.Inc()
+	s.obs.Trace(obs.EvCPUFallback, int64(res.DegradedAtEpoch), int64(totalEpochs-res.DegradedAtEpoch))
+	tr, err := verify.NewCPUTrainer(udf.Graph, m.Model())
+	if err != nil {
+		return err
+	}
+	var tuples [][]float64
+	err = rel.Scan(func(_ storage.TID, vals []float64) error {
+		row := make([]float64, len(vals))
+		for i, v := range vals {
+			row[i] = float64(float32(v))
+		}
+		tuples = append(tuples, row)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	ran, err := tr.Train(tuples, totalEpochs-res.DegradedAtEpoch)
+	if err != nil {
+		return err
+	}
+	res.Epochs += ran
+	res.Model = tr.Model32()
+	return nil
 }
 
 func nz(v float64) float64 {

@@ -1,0 +1,186 @@
+package storage
+
+import (
+	"errors"
+	"testing"
+)
+
+// Regression tests for implicit-panic hardening: every Page accessor
+// reachable from a public entry point must return an error (or a zero
+// value) on truncated or corrupt pages, never index out of range.
+
+func TestTruncatedPageAccessorsDoNotPanic(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 9, 11, 13, 15, 17, 19, 23} {
+		p := Page(make([]byte, n))
+		if got := p.Size(); got != 0 {
+			t.Errorf("len %d: Size=%d, want 0", n, got)
+		}
+		if got := p.Version(); got != 0 {
+			t.Errorf("len %d: Version=%d, want 0", n, got)
+		}
+		if got := p.Lower(); got != 0 {
+			t.Errorf("len %d: Lower=%d, want 0", n, got)
+		}
+		if got := p.Upper(); got != 0 {
+			t.Errorf("len %d: Upper=%d, want 0", n, got)
+		}
+		if got := p.Special(); got != 0 {
+			t.Errorf("len %d: Special=%d, want 0", n, got)
+		}
+		if got := p.LSN(); got != 0 {
+			t.Errorf("len %d: LSN=%d, want 0", n, got)
+		}
+		if got := p.Checksum(); got != 0 {
+			t.Errorf("len %d: Checksum=%d, want 0", n, got)
+		}
+		if got := p.NumItems(); got != 0 {
+			t.Errorf("len %d: NumItems=%d, want 0", n, got)
+		}
+		if got := p.FreeSpace(); got != 0 {
+			t.Errorf("len %d: FreeSpace=%d, want 0", n, got)
+		}
+		// Writers must be no-ops, not panics.
+		p.SetLSN(42)
+		p.SetChecksum(42)
+		p.StampChecksum()
+		p.Init(0)
+		if _, err := p.ItemID(0); !errors.Is(err, ErrBadItem) {
+			t.Errorf("len %d: ItemID err=%v, want ErrBadItem", n, err)
+		}
+		if _, err := p.Item(0); err == nil {
+			t.Errorf("len %d: Item succeeded on truncated page", n)
+		}
+		if _, err := p.AddItem([]byte{1, 2, 3}); err == nil {
+			t.Errorf("len %d: AddItem succeeded on truncated page", n)
+		}
+		if err := p.Validate(); err == nil {
+			t.Errorf("len %d: Validate passed a truncated page", n)
+		}
+		_ = p.ComputeChecksum()
+		_ = p.ChecksumOK()
+	}
+}
+
+func TestNilPageDoesNotPanic(t *testing.T) {
+	var p Page
+	_ = p.Size()
+	_ = p.NumItems()
+	_ = p.ComputeChecksum()
+	p.StampChecksum()
+	if _, err := p.AddItem([]byte{1}); err == nil {
+		t.Fatal("AddItem on nil page succeeded")
+	}
+	if err := p.Validate(); err == nil {
+		t.Fatal("Validate passed a nil page")
+	}
+}
+
+func TestAddItemRejectsLyingHeader(t *testing.T) {
+	// A header claiming upper beyond the page must fail with ErrCorrupt
+	// instead of driving the tuple copy out of the buffer.
+	p := NewPage(PageSize8K, 0)
+	setU16 := func(off int, v uint16) {
+		p[off] = byte(v)
+		p[off+1] = byte(v >> 8)
+	}
+	setU16(offUpper, uint16(PageSize8K+512)) // > len(p) ... wraps within uint16 but still > 8192
+	if _, err := p.AddItem(make([]byte, 64)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("upper beyond page: err=%v, want ErrCorrupt", err)
+	}
+
+	p = NewPage(PageSize8K, 0)
+	setU16(offLower, 4) // < PageHeaderSize
+	if _, err := p.AddItem(make([]byte, 64)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("lower under header: err=%v, want ErrCorrupt", err)
+	}
+
+	p = NewPage(PageSize8K, 0)
+	setU16(offLower, 4000)
+	setU16(offUpper, 2000) // lower > upper
+	if _, err := p.AddItem(make([]byte, 64)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("crossed bounds: err=%v, want ErrCorrupt", err)
+	}
+}
+
+func TestInitClampsOversizedSpecial(t *testing.T) {
+	p := Page(make([]byte, 256))
+	p.Init(4096) // special space larger than the page
+	if sp := p.Special(); sp < PageHeaderSize || sp > len(p) {
+		t.Fatalf("Special=%d outside [%d,%d]", sp, PageHeaderSize, len(p))
+	}
+	if p.Lower() != PageHeaderSize {
+		t.Fatalf("Lower=%d, want %d", p.Lower(), PageHeaderSize)
+	}
+}
+
+func TestStampAndVerifyChecksum(t *testing.T) {
+	p := NewPage(PageSize8K, 0)
+	if _, err := p.AddItem(make([]byte, 32)); err != nil {
+		t.Fatal(err)
+	}
+	if p.Checksum() != 0 {
+		t.Fatal("fresh page should be unstamped")
+	}
+	if !p.ChecksumOK() {
+		t.Fatal("unstamped page must verify trivially")
+	}
+	p.StampChecksum()
+	if p.Checksum() == 0 {
+		t.Fatal("stamp left checksum zero")
+	}
+	if !p.ChecksumOK() {
+		t.Fatal("freshly stamped page fails verification")
+	}
+	p[len(p)-3] ^= 0x40
+	if p.ChecksumOK() {
+		t.Fatal("single bit flip not caught")
+	}
+	p[len(p)-3] ^= 0x40
+	if !p.ChecksumOK() {
+		t.Fatal("restored page fails verification")
+	}
+}
+
+func TestRelationPageStampsLazily(t *testing.T) {
+	schema := NewSchema(Column{Name: "x", Type: TFloat32})
+	rel := NewRelation("lazy", schema, PageSize8K)
+	if _, err := rel.Insert([]float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	pg, err := rel.Page(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pg.Checksum() == 0 {
+		t.Fatal("Relation.Page did not stamp the checksum")
+	}
+	if !pg.ChecksumOK() {
+		t.Fatal("stamped page fails verification")
+	}
+	stamp := pg.Checksum()
+	// A mutation re-dirties the page: the next read restamps.
+	if _, err := rel.Insert([]float64{2}); err != nil {
+		t.Fatal(err)
+	}
+	pg2, err := rel.Page(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pg2.Checksum() == stamp {
+		t.Fatal("checksum unchanged after mutation")
+	}
+	if !pg2.ChecksumOK() {
+		t.Fatal("restamped page fails verification")
+	}
+	// Deletes dirty the page too.
+	if err := rel.Delete(TID{Page: 0, Item: 0}); err != nil {
+		t.Fatal(err)
+	}
+	pg3, err := rel.Page(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pg3.ChecksumOK() {
+		t.Fatal("page not restamped after delete")
+	}
+}

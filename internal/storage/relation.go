@@ -15,6 +15,7 @@ type Relation struct {
 
 	mu      sync.RWMutex
 	pages   []Page
+	dirty   []bool // pages[i] mutated since its checksum was last stamped
 	ntup    int
 	nextXID uint32
 	gen     uint64
@@ -73,13 +74,23 @@ func (r *Relation) TuplesPerPage() int {
 	return n
 }
 
-// Page returns heap page i. The returned Page aliases relation storage;
-// treat it as read-only (the buffer pool copies it into a frame).
+// Page returns heap page i with its checksum stamped. The returned Page
+// aliases relation storage; treat it as read-only (the buffer pool
+// copies it into a frame).
+//
+// Checksums are stamped lazily: mutations only mark the page dirty, and
+// the stamp happens on the next read here — so the per-insert cost stays
+// O(tuple), not O(page), and a page is re-checksummed at most once per
+// mutation no matter how many epochs re-read it.
 func (r *Relation) Page(i int) (Page, error) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if i < 0 || i >= len(r.pages) {
 		return nil, fmt.Errorf("storage: relation %q has no page %d (of %d)", r.Name, i, len(r.pages))
+	}
+	if i < len(r.dirty) && r.dirty[i] {
+		r.pages[i].StampChecksum()
+		r.dirty[i] = false
 	}
 	return r.pages[i], nil
 }
@@ -95,6 +106,7 @@ func (r *Relation) Insert(vals []float64) (TID, error) {
 func (r *Relation) insertLocked(vals []float64) (TID, error) {
 	if len(r.pages) == 0 {
 		r.pages = append(r.pages, NewPage(r.PageSize, 0))
+		r.dirty = append(r.dirty, true)
 	}
 	pageNo := len(r.pages) - 1
 	p := r.pages[pageNo]
@@ -107,6 +119,7 @@ func (r *Relation) insertLocked(vals []float64) (TID, error) {
 		// Page full: start a new page and retry once.
 		p = NewPage(r.PageSize, 0)
 		r.pages = append(r.pages, p)
+		r.dirty = append(r.dirty, true)
 		pageNo++
 		tid = TID{Page: uint32(pageNo), Item: 0}
 		raw, err = EncodeTuple(r.Schema, vals, r.nextXID, tid)
@@ -118,6 +131,7 @@ func (r *Relation) insertLocked(vals []float64) (TID, error) {
 				TupleHeaderSize+r.Schema.DataWidth(), r.PageSize, err)
 		}
 	}
+	r.dirty[pageNo] = true
 	r.nextXID++
 	r.ntup++
 	r.gen++
@@ -209,6 +223,9 @@ func (r *Relation) Delete(tid TID) error {
 	if err := p.DeleteItem(int(tid.Item)); err != nil {
 		return err
 	}
+	if int(tid.Page) < len(r.dirty) {
+		r.dirty[tid.Page] = true
+	}
 	r.ntup--
 	r.gen++
 	return nil
@@ -223,6 +240,7 @@ func (r *Relation) Vacuum() error {
 	defer r.mu.Unlock()
 	old := r.pages
 	r.pages = nil
+	r.dirty = nil
 	r.ntup = 0
 	r.gen++
 	for _, p := range old {

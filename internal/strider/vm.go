@@ -1,8 +1,9 @@
 package strider
 
 import (
-	"errors"
 	"fmt"
+
+	"dana/internal/fault"
 )
 
 // VM executes a Strider program against one page buffer, emitting
@@ -28,8 +29,10 @@ type VM struct {
 // Default step bound: generous for a 32 KB page walk.
 const defaultMaxSteps = 1 << 20
 
-// ErrRunaway is returned when execution exceeds MaxSteps.
-var ErrRunaway = errors.New("strider: step budget exhausted (runaway loop?)")
+// ErrRunaway is returned when execution exceeds MaxSteps. It wraps
+// fault.ErrVMTrap: a runaway walk is a Strider trap, so the executor's
+// retry/quarantine recovery applies to it.
+var ErrRunaway = fmt.Errorf("strider: step budget exhausted (runaway loop?): %w", fault.ErrVMTrap)
 
 // NewVM builds a VM for the program and configuration.
 func NewVM(prog []Instr, cfg Config) *VM {
@@ -219,6 +222,8 @@ func (vm *VM) load(pc int, addr, n uint64) (uint64, error) {
 	return v, nil
 }
 
+// fault builds a VM trap error. Every trap wraps fault.ErrVMTrap so
+// callers across package boundaries can discriminate with errors.Is.
 func (vm *VM) fault(pc int, format string, args ...interface{}) error {
-	return fmt.Errorf("strider: pc=%d %s: %s", pc, vm.Prog[pc], fmt.Sprintf(format, args...))
+	return fmt.Errorf("strider: pc=%d %s: %s: %w", pc, vm.Prog[pc], fmt.Sprintf(format, args...), fault.ErrVMTrap)
 }

@@ -1,0 +1,51 @@
+package verify
+
+import "dana/internal/hdfg"
+
+// CPUTrainer wraps the golden float64 hDFG interpreter as a standalone
+// trainer. It is the runtime's graceful-degradation path: when the
+// simulated accelerator faults mid-train, the remaining epochs run here
+// — the same update-rule semantics Oracle C validates the accelerator
+// against, so a degraded run stays within Oracle-C tolerance of the
+// fault-free one.
+type CPUTrainer struct {
+	it *hdfg.Interp
+}
+
+// NewCPUTrainer builds a trainer over graph g starting from the given
+// float32 model state (typically the accelerator's epoch-start model).
+// A nil model starts from zeros.
+func NewCPUTrainer(g *hdfg.Graph, model []float32) (*CPUTrainer, error) {
+	var init []float64
+	if model != nil {
+		init = make([]float64, len(model))
+		for i, v := range model {
+			init[i] = float64(v)
+		}
+	}
+	it, err := hdfg.NewInterp(g, init)
+	if err != nil {
+		return nil, err
+	}
+	return &CPUTrainer{it: it}, nil
+}
+
+// Train runs up to maxEpochs epochs over the tuples, stopping early on
+// convergence. It returns the number of epochs executed.
+func (t *CPUTrainer) Train(tuples [][]float64, maxEpochs int) (int, error) {
+	return t.it.Train(tuples, maxEpochs)
+}
+
+// Model returns the float64 model state (aliased; copy to retain).
+func (t *CPUTrainer) Model() []float64 { return t.it.Model() }
+
+// Model32 returns the model narrowed to the accelerator's float32
+// representation.
+func (t *CPUTrainer) Model32() []float32 {
+	m := t.it.Model()
+	out := make([]float32, len(m))
+	for i, v := range m {
+		out[i] = float32(v)
+	}
+	return out
+}
