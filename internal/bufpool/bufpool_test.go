@@ -116,6 +116,7 @@ func TestAllPinnedFails(t *testing.T) {
 	r := testRelation(t, "t", 2000)
 	p := newPool(t, 2, r)
 	for pg := uint32(0); pg < 2; pg++ {
+		//danalint:ignore pinbalance -- frames stay pinned on purpose to prove the next Pin fails
 		if _, err := p.Pin("t", pg); err != nil {
 			t.Fatal(err)
 		}
@@ -147,6 +148,7 @@ func TestUnpinErrors(t *testing.T) {
 
 func TestUnknownRelation(t *testing.T) {
 	p := newPool(t, 2)
+	//danalint:ignore pinbalance -- Pin is expected to fail; success is itself the test failure
 	if _, err := p.Pin("ghost", 0); err == nil {
 		t.Error("pin of unknown relation should fail")
 	}
@@ -256,6 +258,7 @@ func TestChecksumVerification(t *testing.T) {
 
 	// Corrupt the backing page: the read must fail.
 	pg[500] ^= 0xFF
+	//danalint:ignore pinbalance -- Pin must fail the checksum; success is itself the test failure
 	if _, err := p.Pin("t", 0); err == nil {
 		t.Error("corrupted page passed checksum verification")
 	}
@@ -284,6 +287,7 @@ func TestConcurrentPinUnpin(t *testing.T) {
 					continue
 				}
 				if err := pg.Validate(); err != nil {
+					_ = p.Unpin("t", pn)
 					errs <- err
 					return
 				}

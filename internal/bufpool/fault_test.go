@@ -115,6 +115,7 @@ func TestTornPageFailsTypedWhenPersistent(t *testing.T) {
 	p.SetFaults(fault.New(fault.Config{
 		Seed: 7, Rates: rate(fault.PageTear, 1), TransientAttempts: -1,
 	}))
+	//danalint:ignore pinbalance -- Pin must fail with a typed fault; PinnedCount asserts no leak
 	_, err := p.Pin("ft", 1)
 	if !errors.Is(err, fault.ErrTornPage) {
 		t.Fatalf("want ErrTornPage, got %v", err)
@@ -199,12 +200,14 @@ func TestVerifyChecksumsFlagCatchesRealCorruption(t *testing.T) {
 		t.Fatal(err)
 	}
 	src[len(src)-1] ^= 0xFF
+	//danalint:ignore pinbalance -- Pin must fail on the torn heap page
 	_, err = p.Pin("ft", 0)
 	if !errors.Is(err, fault.ErrTornPage) {
 		t.Fatalf("want ErrTornPage for real heap corruption, got %v", err)
 	}
 	// Undo: the page becomes readable again.
 	src[len(src)-1] ^= 0xFF
+	//danalint:ignore pinbalance -- final Pin proves readability; the test ends holding it
 	if _, err := p.Pin("ft", 0); err != nil {
 		t.Fatalf("restored page still failing: %v", err)
 	}

@@ -38,6 +38,9 @@ var (
 	ErrTornPage = errors.New("torn page: checksum mismatch")
 	// ErrVMTrap is a Strider VM trap: the page walker faulted.
 	ErrVMTrap = errors.New("strider VM trap")
+	// ErrVerifyReject is a Strider program the static verifier refused
+	// to admit: dispatching it could trap the VM on a conforming page.
+	ErrVerifyReject = errors.New("strider program rejected by verifier")
 	// ErrClusterDown is a hard analytic-cluster failure.
 	ErrClusterDown = errors.New("analytic cluster down")
 	// ErrClusterStall is a wedged analytic cluster (watchdog fired).

@@ -1,0 +1,26 @@
+package lint
+
+// All returns the danalint analyzer suite in its canonical order. The
+// first four encode repo invariants discovered (expensively) at runtime
+// by PRs 1–4; shadow and nilcheck substitute for the x/tools vet
+// analyzers of the same names, which hermetic builds cannot install.
+func All() []*Analyzer {
+	return []*Analyzer{
+		PinBalance,
+		Determinism,
+		ObsGuard,
+		FaultErrors,
+		Shadow,
+		NilCheck,
+	}
+}
+
+// ByName resolves analyzer names (comma-separated lists in the driver).
+func ByName(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

@@ -1,0 +1,360 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// CFG is an intra-function control-flow graph at statement granularity,
+// built for path-sensitive analyzers (pinbalance). It models if/for/
+// range/switch/select/return/break/continue/goto/fallthrough; function
+// literals are NOT entered (they get their own CFG). Panics and other
+// terminating calls end their block without an edge to Exit, so "on
+// all paths to return" analyses skip crash paths.
+type CFG struct {
+	Entry  *Block
+	Exit   *Block // virtual: reached by returns and normal fallthrough
+	Blocks []*Block
+}
+
+// Block is a straight-line sequence of statements.
+type Block struct {
+	Nodes []ast.Node
+	Succs []Edge
+}
+
+// Edge connects blocks; Cond is non-nil for conditional edges, taken
+// when Cond evaluates to CondVal.
+type Edge struct {
+	To      *Block
+	Cond    ast.Expr
+	CondVal bool
+}
+
+type cfgBuilder struct {
+	cfg *CFG
+
+	// break/continue resolution: innermost-first stacks of targets,
+	// each optionally labeled.
+	breaks    []labeledTarget
+	continues []labeledTarget
+
+	labels map[string]*Block   // label -> block starting the labeled stmt
+	gotos  map[string][]*Block // unresolved forward gotos
+
+	// labelNext carries a LabeledStmt's label to the loop/switch it
+	// labels, for labeled break/continue.
+	labelNext string
+}
+
+type labeledTarget struct {
+	label string
+	block *Block
+}
+
+// NewCFG builds the graph for one function body.
+func NewCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{
+		cfg:    &CFG{},
+		labels: map[string]*Block{},
+		gotos:  map[string][]*Block{},
+	}
+	b.cfg.Entry = b.newBlock()
+	b.cfg.Exit = b.newBlock()
+	last := b.stmts(body.List, b.cfg.Entry)
+	if last != nil {
+		b.edge(last, b.cfg.Exit, nil, false)
+	}
+	// Unresolved gotos (labels in unvisited regions) fall off the graph;
+	// leaving them edgeless is the conservative choice for leak checks.
+	return b.cfg
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *Block, cond ast.Expr, val bool) {
+	from.Succs = append(from.Succs, Edge{To: to, Cond: cond, CondVal: val})
+}
+
+// stmts threads the statement list through cur; returns the block where
+// control continues, or nil when control cannot fall through.
+func (b *cfgBuilder) stmts(list []ast.Stmt, cur *Block) *Block {
+	for _, s := range list {
+		if cur == nil {
+			// Unreachable code still gets blocks so analyzers can inspect
+			// it, but nothing flows in.
+			cur = b.newBlock()
+		}
+		cur = b.stmt(s, cur)
+	}
+	return cur
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt, cur *Block) *Block {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return b.stmts(s.List, cur)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			cur.Nodes = append(cur.Nodes, s.Init)
+		}
+		cur.Nodes = append(cur.Nodes, s.Cond)
+		thenBlk := b.newBlock()
+		b.edge(cur, thenBlk, s.Cond, true)
+		after := b.newBlock()
+		thenEnd := b.stmts(s.Body.List, thenBlk)
+		if thenEnd != nil {
+			b.edge(thenEnd, after, nil, false)
+		}
+		if s.Else != nil {
+			elseBlk := b.newBlock()
+			b.edge(cur, elseBlk, s.Cond, false)
+			elseEnd := b.stmt(s.Else, elseBlk)
+			if elseEnd != nil {
+				b.edge(elseEnd, after, nil, false)
+			}
+		} else {
+			b.edge(cur, after, s.Cond, false)
+		}
+		return after
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			cur.Nodes = append(cur.Nodes, s.Init)
+		}
+		head := b.newBlock()
+		b.edge(cur, head, nil, false)
+		after := b.newBlock()
+		post := head
+		if s.Post != nil {
+			post = b.newBlock()
+			post.Nodes = append(post.Nodes, s.Post)
+			b.edge(post, head, nil, false)
+		}
+		body := b.newBlock()
+		if s.Cond != nil {
+			head.Nodes = append(head.Nodes, s.Cond)
+			b.edge(head, body, s.Cond, true)
+			b.edge(head, after, s.Cond, false)
+		} else {
+			b.edge(head, body, nil, false)
+		}
+		label := b.pendingLabel(s)
+		b.breaks = append(b.breaks, labeledTarget{label, after})
+		b.continues = append(b.continues, labeledTarget{label, post})
+		bodyEnd := b.stmts(s.Body.List, body)
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		b.continues = b.continues[:len(b.continues)-1]
+		if bodyEnd != nil {
+			b.edge(bodyEnd, post, nil, false)
+		}
+		return after
+
+	case *ast.RangeStmt:
+		head := b.newBlock()
+		head.Nodes = append(head.Nodes, s)
+		b.edge(cur, head, nil, false)
+		after := b.newBlock()
+		body := b.newBlock()
+		b.edge(head, body, nil, false)
+		b.edge(head, after, nil, false)
+		label := b.pendingLabel(s)
+		b.breaks = append(b.breaks, labeledTarget{label, after})
+		b.continues = append(b.continues, labeledTarget{label, head})
+		bodyEnd := b.stmts(s.Body.List, body)
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		b.continues = b.continues[:len(b.continues)-1]
+		if bodyEnd != nil {
+			b.edge(bodyEnd, head, nil, false)
+		}
+		return after
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		var body *ast.BlockStmt
+		switch s := s.(type) {
+		case *ast.SwitchStmt:
+			if s.Init != nil {
+				cur.Nodes = append(cur.Nodes, s.Init)
+			}
+			if s.Tag != nil {
+				cur.Nodes = append(cur.Nodes, s.Tag)
+			}
+			body = s.Body
+		case *ast.TypeSwitchStmt:
+			if s.Init != nil {
+				cur.Nodes = append(cur.Nodes, s.Init)
+			}
+			cur.Nodes = append(cur.Nodes, s.Assign)
+			body = s.Body
+		}
+		after := b.newBlock()
+		label := b.pendingLabel(s)
+		b.breaks = append(b.breaks, labeledTarget{label, after})
+		var clauseBodies []*Block
+		hasDefault := false
+		for _, c := range body.List {
+			cc := c.(*ast.CaseClause)
+			if cc.List == nil {
+				hasDefault = true
+			}
+			blk := b.newBlock()
+			for _, e := range cc.List {
+				blk.Nodes = append(blk.Nodes, e)
+			}
+			b.edge(cur, blk, nil, false)
+			clauseBodies = append(clauseBodies, blk)
+		}
+		for i, c := range body.List {
+			cc := c.(*ast.CaseClause)
+			end := b.stmts(cc.Body, clauseBodies[i])
+			if end != nil {
+				// fallthrough (a BranchStmt) was handled inside stmts via
+				// the clause chain below; normal fallout goes to after.
+				if ft := fallthroughTarget(cc); ft && i+1 < len(clauseBodies) {
+					b.edge(end, clauseBodies[i+1], nil, false)
+				} else {
+					b.edge(end, after, nil, false)
+				}
+			}
+		}
+		if !hasDefault {
+			b.edge(cur, after, nil, false)
+		}
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		return after
+
+	case *ast.SelectStmt:
+		after := b.newBlock()
+		label := b.pendingLabel(s)
+		b.breaks = append(b.breaks, labeledTarget{label, after})
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			blk := b.newBlock()
+			if cc.Comm != nil {
+				blk.Nodes = append(blk.Nodes, cc.Comm)
+			}
+			b.edge(cur, blk, nil, false)
+			end := b.stmts(cc.Body, blk)
+			if end != nil {
+				b.edge(end, after, nil, false)
+			}
+		}
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		return after
+
+	case *ast.ReturnStmt:
+		cur.Nodes = append(cur.Nodes, s)
+		b.edge(cur, b.cfg.Exit, nil, false)
+		return nil
+
+	case *ast.BranchStmt:
+		cur.Nodes = append(cur.Nodes, s)
+		label := ""
+		if s.Label != nil {
+			label = s.Label.Name
+		}
+		switch s.Tok {
+		case token.BREAK:
+			if t := findTarget(b.breaks, label); t != nil {
+				b.edge(cur, t, nil, false)
+			}
+		case token.CONTINUE:
+			if t := findTarget(b.continues, label); t != nil {
+				b.edge(cur, t, nil, false)
+			}
+		case token.GOTO:
+			if t := b.labels[label]; t != nil {
+				b.edge(cur, t, nil, false)
+			} else {
+				b.gotos[label] = append(b.gotos[label], cur)
+			}
+		case token.FALLTHROUGH:
+			// handled structurally by the switch clause chain
+			return cur
+		}
+		return nil
+
+	case *ast.LabeledStmt:
+		head := b.newBlock()
+		b.edge(cur, head, nil, false)
+		b.labels[s.Label.Name] = head
+		for _, from := range b.gotos[s.Label.Name] {
+			b.edge(from, head, nil, false)
+		}
+		delete(b.gotos, s.Label.Name)
+		b.labelNext = s.Label.Name
+		return b.stmt(s.Stmt, head)
+
+	case *ast.ExprStmt:
+		cur.Nodes = append(cur.Nodes, s)
+		if isTerminatingCall(s.X) {
+			return nil
+		}
+		return cur
+
+	default:
+		// Assign, Decl, Defer, Go, Send, IncDec, Empty: straight-line.
+		cur.Nodes = append(cur.Nodes, s)
+		return cur
+	}
+}
+
+// labelNext carries the label of a LabeledStmt to the loop/switch it
+// labels, for labeled break/continue.
+func (b *cfgBuilder) pendingLabel(ast.Node) string {
+	l := b.labelNext
+	b.labelNext = ""
+	return l
+}
+
+func findTarget(stack []labeledTarget, label string) *Block {
+	if label == "" {
+		if len(stack) == 0 {
+			return nil
+		}
+		return stack[len(stack)-1].block
+	}
+	for i := len(stack) - 1; i >= 0; i-- {
+		if stack[i].label == label {
+			return stack[i].block
+		}
+	}
+	return nil
+}
+
+// fallthroughTarget reports whether the clause body ends in a
+// fallthrough statement.
+func fallthroughTarget(cc *ast.CaseClause) bool {
+	if len(cc.Body) == 0 {
+		return false
+	}
+	br, ok := cc.Body[len(cc.Body)-1].(*ast.BranchStmt)
+	return ok && br.Tok == token.FALLTHROUGH
+}
+
+// isTerminatingCall recognizes calls that never return, so paths through
+// them are crash paths, not leak paths: panic, os.Exit, log.Fatal*,
+// (*testing.T).Fatal*.
+func isTerminatingCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn.Name == "panic"
+	case *ast.SelectorExpr:
+		name := fn.Sel.Name
+		if name == "Exit" || name == "Fatal" || name == "Fatalf" || name == "Fatalln" {
+			if id, ok := fn.X.(*ast.Ident); ok {
+				return id.Name == "os" || id.Name == "log" || id.Name == "t" || id.Name == "b"
+			}
+		}
+	}
+	return false
+}

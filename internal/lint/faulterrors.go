@@ -1,0 +1,162 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// FaultErrors keeps the typed-fault-sentinel contract intact across
+// package boundaries. The whole fault-recovery ladder (page retry →
+// quarantine → CPU fallback, PR 4) discriminates failures with
+// errors.Is against the internal/fault sentinels; one fmt.Errorf that
+// formats a wrapped error with %v instead of %w silently severs the
+// chain and turns a recoverable fault into a hard training failure.
+//
+// In the packages whose errors cross those boundaries (storage,
+// bufpool, runtime, and the strider/accessengine trap path) the
+// analyzer reports:
+//
+//   - fmt.Errorf calls that format an error-typed argument with any
+//     verb but %w;
+//   - fmt.Errorf calls that format a fault sentinel (fault.Err*) with
+//     a non-wrapping verb, anywhere in the repo.
+var FaultErrors = &Analyzer{
+	Name: "faulterrors",
+	Doc:  "errors crossing package boundaries must wrap typed fault sentinels with %w",
+	Run:  runFaultErrors,
+}
+
+// faultErrPkgSuffixes lists packages whose errors feed cross-package
+// errors.Is discrimination ("faulterrors" admits test fixtures).
+var faultErrPkgSuffixes = []string{
+	"internal/storage", "internal/bufpool", "internal/runtime",
+	"internal/strider", "internal/accessengine", "internal/fault", "faulterrors",
+}
+
+func isFaultErrPkg(pkgPath string) bool {
+	for _, s := range faultErrPkgSuffixes {
+		if strings.HasSuffix(pkgPath, s) {
+			return true
+		}
+	}
+	return false
+}
+
+func runFaultErrors(pass *Pass) error {
+	errorIface := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	inScope := isFaultErrPkg(pass.Pkg.Path())
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isPkgFunc(pass.TypesInfo, call, "fmt", "Errorf") || len(call.Args) < 2 {
+				return true
+			}
+			lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+			if !ok {
+				return true
+			}
+			format, err := strconv.Unquote(lit.Value)
+			if err != nil || strings.Contains(format, "%[") {
+				return true
+			}
+			verbs := formatVerbs(format)
+			for i, arg := range call.Args[1:] {
+				if i >= len(verbs) {
+					break
+				}
+				verb := verbs[i]
+				if verb == 'w' {
+					continue
+				}
+				tv, ok := pass.TypesInfo.Types[arg]
+				if !ok {
+					continue
+				}
+				isErr := types.Implements(tv.Type, errorIface) ||
+					types.Implements(types.NewPointer(tv.Type), errorIface)
+				if !isErr {
+					continue
+				}
+				if obj := namedObject(pass.TypesInfo, arg); obj != nil && isFaultSentinel(obj) {
+					pass.Reportf(arg.Pos(),
+						"fault sentinel %s formatted with %%%c: use %%w or errors.Is stops matching it",
+						obj.Name(), verb)
+				} else if inScope {
+					pass.Reportf(arg.Pos(),
+						"error formatted with %%%c severs the wrap chain: use %%w so typed fault sentinels stay errors.Is-discoverable",
+						verb)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// namedObject resolves the object an argument names directly: a bare
+// identifier or a package-qualified one (fault.ErrVMTrap). rootObject
+// would resolve the package name instead of the sentinel.
+func namedObject(info *types.Info, e ast.Expr) types.Object {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return info.Uses[v]
+	case *ast.SelectorExpr:
+		return info.Uses[v.Sel]
+	}
+	return nil
+}
+
+// isFaultSentinel reports whether obj is an exported Err* package-level
+// variable of internal/fault.
+func isFaultSentinel(obj types.Object) bool {
+	return obj.Pkg() != nil && strings.HasSuffix(obj.Pkg().Path(), "internal/fault") &&
+		strings.HasPrefix(obj.Name(), "Err")
+}
+
+// isPkgFunc reports whether call invokes pkg.fn at package level.
+func isPkgFunc(info *types.Info, call *ast.CallExpr, pkg, fn string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != fn {
+		return false
+	}
+	base, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := info.Uses[base].(*types.PkgName)
+	return ok && pn.Imported().Path() == pkg
+}
+
+// formatVerbs extracts the argument-consuming verbs of a format string
+// in order ("%d at %s: %w" -> ['d','s','w']).
+func formatVerbs(format string) []byte {
+	var verbs []byte
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		// Skip flags, width, precision.
+		for i < len(format) && strings.ContainsRune("+-# 0123456789.", rune(format[i])) {
+			// A '*' width consumes an argument too.
+			i++
+		}
+		if i >= len(format) {
+			break
+		}
+		if format[i] == '%' {
+			continue
+		}
+		if format[i] == '*' {
+			verbs = append(verbs, '*')
+			i++
+			if i >= len(format) {
+				break
+			}
+		}
+		verbs = append(verbs, format[i])
+	}
+	return verbs
+}

@@ -1,0 +1,197 @@
+package lint
+
+// Mutation meta-tests: reintroduce historical bugs into a scratch
+// module and prove the analyzers fire on the buggy variant and stay
+// silent on the fixed one. This is the test that keeps the analyzers
+// honest — a checker that passes clean code but misses the bug it was
+// built for is worse than none.
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// scratchBufpool is a minimal stand-in for internal/bufpool: pinbalance
+// matches Pool methods by package name, so the scratch module exercises
+// the same code path as the real pool.
+const scratchBufpool = `package bufpool
+
+type Page []byte
+
+type Pool struct{}
+
+func (p *Pool) Pin(rel string, pageNo uint32) (Page, error) { return Page{}, nil }
+func (p *Pool) Unpin(rel string, pageNo uint32) error       { return nil }
+`
+
+// extractSerialBuggy reproduces the PR-4 extractSerial leak verbatim in
+// shape: decode reuses err, and its error return exits between Pin and
+// the flush, leaking every pinned page. The chaos suite caught this at
+// runtime; pinbalance must catch it at compile time.
+const extractSerialBuggy = `package runtime
+
+import "scratch/bufpool"
+
+type rec struct{ data []byte }
+
+func decode(pg bufpool.Page) (rec, error) { return rec{data: pg}, nil }
+
+func extractSerial(p *bufpool.Pool, pages []uint32) ([]rec, error) {
+	var out []rec
+	var pinned []uint32
+	flush := func() {
+		for _, pn := range pinned {
+			_ = p.Unpin("t", pn)
+		}
+		pinned = pinned[:0]
+	}
+	for _, pn := range pages {
+		pg, err := p.Pin("t", pn)
+		if err != nil {
+			return nil, err
+		}
+		pinned = append(pinned, pn)
+		r, err := decode(pg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+		if len(pinned) >= 4 {
+			flush()
+		}
+	}
+	flush()
+	return out, nil
+}
+`
+
+// extractSerialFixed is the PR-4 fix: flush the pinned pages before the
+// decode-error return.
+const extractSerialFixed = `package runtime
+
+import "scratch/bufpool"
+
+type rec struct{ data []byte }
+
+func decode(pg bufpool.Page) (rec, error) { return rec{data: pg}, nil }
+
+func extractSerial(p *bufpool.Pool, pages []uint32) ([]rec, error) {
+	var out []rec
+	var pinned []uint32
+	flush := func() {
+		for _, pn := range pinned {
+			_ = p.Unpin("t", pn)
+		}
+		pinned = pinned[:0]
+	}
+	for _, pn := range pages {
+		pg, err := p.Pin("t", pn)
+		if err != nil {
+			return nil, err
+		}
+		pinned = append(pinned, pn)
+		r, err := decode(pg)
+		if err != nil {
+			flush()
+			return nil, err
+		}
+		out = append(out, r)
+		if len(pinned) >= 4 {
+			flush()
+		}
+	}
+	flush()
+	return out, nil
+}
+`
+
+// engineWallClock reintroduces a wall-clock read into a modeled-cycle
+// package (path suffix internal/engine); engineFixed uses pure time
+// arithmetic instead.
+const engineWallClock = `package engine
+
+import "time"
+
+func stamp() int64 { return time.Now().UnixNano() }
+`
+
+const engineFixed = `package engine
+
+import "time"
+
+func stamp() int64 { return time.Unix(0, 0).UnixNano() }
+`
+
+// writeScratchModule lays out a scratch module and returns its root.
+func writeScratchModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	files["go.mod"] = "module scratch\n\ngo 1.21\n"
+	for rel, src := range files {
+		path := filepath.Join(root, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func analyzeScratch(t *testing.T, files map[string]string, a *Analyzer) []Finding {
+	t.Helper()
+	root := writeScratchModule(t, files)
+	ld, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := ld.Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := RunAnalyzers(pkgs, []*Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return findings
+}
+
+func TestPinBalanceCatchesExtractSerialRegression(t *testing.T) {
+	buggy := analyzeScratch(t, map[string]string{
+		"bufpool/bufpool.go":  scratchBufpool,
+		"runtime/executor.go": extractSerialBuggy,
+	}, PinBalance)
+	if len(buggy) != 1 {
+		t.Fatalf("buggy extractSerial: got %d findings, want exactly 1: %v", len(buggy), buggy)
+	}
+	if !strings.Contains(buggy[0].Message, "pinned page is not unpinned") {
+		t.Fatalf("unexpected finding message: %s", buggy[0].Message)
+	}
+
+	fixed := analyzeScratch(t, map[string]string{
+		"bufpool/bufpool.go":  scratchBufpool,
+		"runtime/executor.go": extractSerialFixed,
+	}, PinBalance)
+	if len(fixed) != 0 {
+		t.Fatalf("fixed extractSerial still flagged: %v", fixed)
+	}
+}
+
+func TestDeterminismCatchesWallClockRegression(t *testing.T) {
+	buggy := analyzeScratch(t, map[string]string{
+		"internal/engine/clock.go": engineWallClock,
+	}, Determinism)
+	if len(buggy) != 1 || !strings.Contains(buggy[0].Message, "time.Now") {
+		t.Fatalf("wall-clock regression: got %v, want one time.Now finding", buggy)
+	}
+
+	fixed := analyzeScratch(t, map[string]string{
+		"internal/engine/clock.go": engineFixed,
+	}, Determinism)
+	if len(fixed) != 0 {
+		t.Fatalf("pure time arithmetic flagged: %v", fixed)
+	}
+}

@@ -1,0 +1,103 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NilCheck is a lightweight stand-in for the x/tools nilness analyzer
+// (unavailable in hermetic builds). It reports uses that are guaranteed
+// to dereference nil: inside the then-branch of `if x == nil { … }`
+// (with no intervening reassignment of x), a field selection, index, or
+// dereference of x must panic. Method calls on x are deliberately NOT
+// flagged — the obs layer's whole design is nil-receiver no-op methods.
+var NilCheck = &Analyzer{
+	Name: "nilcheck",
+	Doc:  "no field access, indexing, or dereference of a variable known to be nil",
+	Run:  runNilCheck,
+}
+
+func runNilCheck(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ifStmt, ok := n.(*ast.IfStmt)
+			if !ok {
+				return true
+			}
+			obj := nilComparedObj(pass.TypesInfo, ifStmt.Cond)
+			if obj == nil {
+				return true
+			}
+			checkNilUses(pass, ifStmt.Body, obj)
+			return true
+		})
+	}
+	return nil
+}
+
+// nilComparedObj returns the variable proven nil when cond is true:
+// cond must be exactly `x == nil` (or `nil == x`).
+func nilComparedObj(info *types.Info, cond ast.Expr) types.Object {
+	bin, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || bin.Op != token.EQL {
+		return nil
+	}
+	x, y := ast.Unparen(bin.X), ast.Unparen(bin.Y)
+	if id, ok := y.(*ast.Ident); ok && id.Name == "nil" {
+		if xid, ok := x.(*ast.Ident); ok {
+			return info.Uses[xid]
+		}
+	}
+	if id, ok := x.(*ast.Ident); ok && id.Name == "nil" {
+		if yid, ok := y.(*ast.Ident); ok {
+			return info.Uses[yid]
+		}
+	}
+	return nil
+}
+
+// checkNilUses reports definite dereferences of obj in body, stopping
+// at any reassignment.
+func checkNilUses(pass *Pass, body *ast.BlockStmt, obj types.Object) {
+	reassigned := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if reassigned {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+					reassigned = true
+					return false
+				}
+			}
+		case *ast.SelectorExpr:
+			if id, ok := ast.Unparen(n.X).(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+				// Field access on a nil pointer panics; method values are
+				// fine when the method has a nil-tolerant receiver.
+				if sel, ok := pass.TypesInfo.Selections[n]; ok && sel.Kind() == types.FieldVal {
+					if _, isPtr := obj.Type().Underlying().(*types.Pointer); isPtr {
+						pass.Reportf(n.Pos(), "field access %s.%s: %s is nil on this path",
+							id.Name, n.Sel.Name, id.Name)
+					}
+				}
+			}
+		case *ast.IndexExpr:
+			if id, ok := ast.Unparen(n.X).(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+				switch obj.Type().Underlying().(type) {
+				case *types.Slice, *types.Pointer:
+					pass.Reportf(n.Pos(), "index of %s: it is nil on this path", id.Name)
+				}
+			}
+		case *ast.StarExpr:
+			if id, ok := ast.Unparen(n.X).(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+				pass.Reportf(n.Pos(), "dereference of %s: it is nil on this path", id.Name)
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,430 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// PinBalance reports bufpool.Pool.Pin calls that are not matched by an
+// Unpin on every path to function exit. This is the exact bug class the
+// PR-4 chaos suite caught twice in extractSerial: an early error return
+// between Pin and the unpin loop leaked pinned frames, and leaked pins
+// poison the pool for every later query (frames can never be evicted).
+//
+// The check is intra-procedural over the statement CFG. A pin is
+// considered released on a path when the path reaches:
+//
+//   - an Unpin call (direct, deferred, or inside a deferred closure);
+//   - a call to a local function value whose body unpins (the flush
+//     closure pattern);
+//   - a handoff: the pinned page value is appended to a slice, stored
+//     into a field/map/slice element, sent on a channel, or returned —
+//     release responsibility has moved to the holder;
+//   - the error branch of the Pin itself (a failed Pin holds nothing).
+//
+// Crash paths (panic, os.Exit, t.Fatal) are ignored. Intentional
+// cross-function ownership transfers that the heuristics cannot see can
+// be annotated with `//danalint:ignore pinbalance -- reason`.
+var PinBalance = &Analyzer{
+	Name: "pinbalance",
+	Doc:  "bufpool Pin must be paired with Unpin on all paths (or handed off)",
+	Run:  runPinBalance,
+}
+
+// isPoolMethod reports whether the call invokes the named method on
+// bufpool.Pool (matched by package suffix so fixture copies count too).
+func isPoolMethod(info *types.Info, call *ast.CallExpr, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	obj, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || obj.Pkg() == nil {
+		return false
+	}
+	return strings.HasSuffix(obj.Pkg().Path(), "internal/bufpool") || obj.Pkg().Name() == "bufpool"
+}
+
+func runPinBalance(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			var name string
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+				name = fn.Name.Name
+			case *ast.FuncLit:
+				body = fn.Body
+				name = "func literal"
+			default:
+				return true
+			}
+			if body != nil {
+				checkPinBalance(pass, name, body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// pinSite is one Pin call with its result bindings.
+type pinSite struct {
+	call    *ast.CallExpr
+	pageVar types.Object // first result, if bound to a variable
+	errVar  types.Object // second result, if bound to a variable
+}
+
+func checkPinBalance(pass *Pass, fnName string, body *ast.BlockStmt) {
+	// Collect Pin sites in THIS function body, not in nested literals
+	// (they are visited separately by runPinBalance).
+	var pins []*pinSite
+	ownNodes(body, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Rhs) == 1 {
+				if call, ok := n.Rhs[0].(*ast.CallExpr); ok && isPoolMethod(pass.TypesInfo, call, "Pin") {
+					site := &pinSite{call: call}
+					if len(n.Lhs) == 2 {
+						site.pageVar = bindingOf(pass.TypesInfo, n.Lhs[0])
+						site.errVar = bindingOf(pass.TypesInfo, n.Lhs[1])
+					}
+					pins = append(pins, site)
+				}
+			}
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok && isPoolMethod(pass.TypesInfo, call, "Pin") {
+				pass.Reportf(call.Pos(), "result of Pool.Pin discarded: the pinned frame can never be unpinned")
+			}
+		}
+	})
+	if len(pins) == 0 {
+		return
+	}
+
+	// A deferred Unpin (direct or in a deferred closure) releases for the
+	// whole function.
+	deferredUnpin := false
+	ownNodes(body, func(n ast.Node) {
+		d, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return
+		}
+		if isPoolMethod(pass.TypesInfo, d.Call, "Unpin") || containsUnpin(pass.TypesInfo, d.Call) {
+			deferredUnpin = true
+		}
+	})
+	if deferredUnpin {
+		return
+	}
+
+	// Local function values whose bodies unpin (the flush-closure
+	// pattern): calling one counts as a release.
+	unpinFns := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			lit, ok := rhs.(*ast.FuncLit)
+			if !ok || i >= len(as.Lhs) {
+				continue
+			}
+			if obj := bindingOf(pass.TypesInfo, as.Lhs[i]); obj != nil && containsUnpin(pass.TypesInfo, lit) {
+				unpinFns[obj] = true
+			}
+		}
+		return true
+	})
+
+	cfg := NewCFG(body)
+	for _, site := range pins {
+		if leaksAt := findLeak(pass, cfg, site, unpinFns); leaksAt != token.NoPos {
+			pos := pass.Fset.Position(leaksAt)
+			pass.Reportf(site.call.Pos(),
+				"%s: pinned page is not unpinned on the path reaching function exit at line %d (add Unpin, defer it, or hand the page off)",
+				fnName, pos.Line)
+		}
+	}
+}
+
+// findLeak walks the CFG from the pin site; it returns the position of
+// an exit reachable with the pin still held, or NoPos.
+func findLeak(pass *Pass, cfg *CFG, site *pinSite, unpinFns map[types.Object]bool) token.Pos {
+	// Locate the block and node index of the pin. Loop-head blocks carry
+	// their whole RangeStmt as one node, so pick the SMALLEST node whose
+	// extent covers the call — that is the statement inside the body.
+	var startBlock *Block
+	startIdx := -1
+	var bestSpan token.Pos = 1 << 60
+	for _, b := range cfg.Blocks {
+		for i, n := range b.Nodes {
+			if containsPos(n, site.call.Pos()) && n.End()-n.Pos() < bestSpan {
+				startBlock, startIdx = b, i
+				bestSpan = n.End() - n.Pos()
+			}
+		}
+	}
+	if startBlock == nil {
+		return token.NoPos
+	}
+
+	released := func(n ast.Node) bool { return nodeReleases(pass.TypesInfo, n, site, unpinFns) }
+
+	// errValid tracks whether the Pin's error variable still holds the
+	// Pin's result on the current path: once any later statement rewrites
+	// it (`r, err := decode(pg)`), an `err != nil` branch no longer means
+	// the Pin failed — that exact reuse hid the PR-4 extractSerial leak.
+	type visitKey struct {
+		b        *Block
+		errValid bool
+	}
+	visited := map[visitKey]bool{}
+	var leak token.Pos
+	var dfs func(b *Block, from int, errValid bool)
+	dfs = func(b *Block, from int, errValid bool) {
+		if leak != token.NoPos {
+			return
+		}
+		if from == 0 {
+			key := visitKey{b, errValid}
+			if visited[key] {
+				return
+			}
+			visited[key] = true
+		}
+		if b == cfg.Exit {
+			leak = lastPos(b, site.call.Pos())
+			return
+		}
+		for _, n := range b.Nodes[from:] {
+			if released(n) {
+				return
+			}
+			if errValid && nodeWritesObj(pass.TypesInfo, n, site.errVar) {
+				errValid = false
+			}
+		}
+		for _, e := range b.Succs {
+			// A true `err != nil` edge for the Pin's own (still-valid)
+			// error means the Pin failed: nothing is held on that path.
+			if errValid && site.errVar != nil && edgeImpliesErr(pass.TypesInfo, e, site.errVar) {
+				continue
+			}
+			dfs(e.To, 0, errValid)
+		}
+	}
+	// The pin node itself may also contain the release (single-statement
+	// pin+unpin is impossible, so start after it).
+	dfs(startBlock, startIdx+1, true)
+	if leak == token.NoPos {
+		return token.NoPos
+	}
+	return leak
+}
+
+// lastPos gives a position to blame for the leak: the exit block has no
+// nodes, so fall back to the pin position.
+func lastPos(b *Block, fallback token.Pos) token.Pos {
+	if len(b.Nodes) > 0 {
+		return b.Nodes[len(b.Nodes)-1].Pos()
+	}
+	return fallback
+}
+
+// edgeImpliesErr reports whether taking edge e means the error variable
+// is non-nil (i.e. the Pin failed).
+func edgeImpliesErr(info *types.Info, e Edge, errVar types.Object) bool {
+	if e.Cond == nil {
+		return false
+	}
+	bin, ok := ast.Unparen(e.Cond).(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	var id *ast.Ident
+	if x, ok := ast.Unparen(bin.X).(*ast.Ident); ok && info.Uses[x] == errVar {
+		id = x
+	} else if y, ok := ast.Unparen(bin.Y).(*ast.Ident); ok && info.Uses[y] == errVar {
+		id = y
+	}
+	if id == nil {
+		return false
+	}
+	other := bin.Y
+	if id == bin.Y {
+		other = bin.X
+	}
+	if o, ok := ast.Unparen(other).(*ast.Ident); !ok || o.Name != "nil" {
+		return false
+	}
+	switch bin.Op {
+	case token.NEQ: // err != nil is true on this edge
+		return e.CondVal
+	case token.EQL: // err == nil is false on this edge
+		return !e.CondVal
+	}
+	return false
+}
+
+// nodeReleases reports whether the statement releases the pin: an Unpin
+// call, a call to a local unpinning closure, or a handoff of the page
+// value.
+func nodeReleases(info *types.Info, n ast.Node, site *pinSite, unpinFns map[types.Object]bool) bool {
+	releasedHere := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if releasedHere {
+			return false
+		}
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			// A literal merely defined on the path does not release;
+			// deferred literals were handled function-wide.
+			return false
+		case *ast.CallExpr:
+			if isPoolMethod(info, m, "Unpin") {
+				releasedHere = true
+				return false
+			}
+			if id, ok := m.Fun.(*ast.Ident); ok && unpinFns[info.Uses[id]] {
+				releasedHere = true
+				return false
+			}
+			// append(dst, pg...) hands the page off.
+			if id, ok := m.Fun.(*ast.Ident); ok && id.Name == "append" && site.pageVar != nil {
+				for _, a := range m.Args[1:] {
+					if usesObject(info, a, site.pageVar) {
+						releasedHere = true
+						return false
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if site.pageVar != nil && usesObject(info, m.Value, site.pageVar) {
+				releasedHere = true
+				return false
+			}
+		case *ast.ReturnStmt:
+			if site.pageVar != nil {
+				for _, r := range m.Results {
+					if usesObject(info, r, site.pageVar) {
+						releasedHere = true
+						return false
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			if site.pageVar != nil && usesObject(info, m, site.pageVar) {
+				releasedHere = true
+				return false
+			}
+		case *ast.AssignStmt:
+			// Storing the page into non-local structure (field, element)
+			// hands it off; plain `x := pg` aliasing does not.
+			if site.pageVar == nil {
+				return true
+			}
+			for i, rhs := range m.Rhs {
+				if !usesObject(info, rhs, site.pageVar) {
+					continue
+				}
+				if i < len(m.Lhs) {
+					switch m.Lhs[i].(type) {
+					case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+						releasedHere = true
+						return false
+					}
+				}
+			}
+		}
+		return true
+	})
+	return releasedHere
+}
+
+// nodeWritesObj reports whether the statement assigns obj (outside
+// nested function literals).
+func nodeWritesObj(info *types.Info, n ast.Node, obj types.Object) bool {
+	if obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		as, ok := m.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok && (info.Uses[id] == obj || info.Defs[id] == obj) {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// usesObject reports whether expr references obj.
+func usesObject(info *types.Info, expr ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// containsUnpin reports whether the subtree contains an Unpin call.
+func containsUnpin(info *types.Info, n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if call, ok := m.(*ast.CallExpr); ok && isPoolMethod(info, call, "Unpin") {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// bindingOf resolves the object an assignment LHS binds (define or use).
+func bindingOf(info *types.Info, lhs ast.Expr) types.Object {
+	id, ok := lhs.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}
+
+// containsPos reports whether n's extent covers pos.
+func containsPos(n ast.Node, pos token.Pos) bool {
+	return n.Pos() <= pos && pos < n.End()
+}
+
+// ownNodes visits the statements of body without descending into
+// nested function literals.
+func ownNodes(body *ast.BlockStmt, fn func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			fn(n)
+		}
+		return true
+	})
+}

@@ -1,0 +1,138 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Shadow is an in-tree stand-in for the x/tools `shadow` vet analyzer
+// (unavailable in hermetic builds), tuned for signal: it reports a
+// short variable declaration that shadows a variable of the same name
+// and identical type from an enclosing scope in the same function, when
+// (a) the declaration is a plain statement of a block — the idiomatic
+// `if err := f(); err != nil` init clause and `go func(i int)` capture
+// parameter are exempt — and (b) the shadowed variable is still used
+// after the inner scope ends. That combination is the classic
+// silently-dropped-error shape:
+//
+//	err := step1()
+//	{
+//	        err := step2() // shadows; never joins the outer err
+//	        _ = err
+//	}
+//	if err != nil { … }    // still the step1 error
+var Shadow = &Analyzer{
+	Name: "shadow",
+	Doc:  "block-level short declarations must not shadow a same-typed outer variable used afterwards",
+	Run:  runShadow,
+}
+
+// objUse is one occurrence of a variable: a read, or a write (plain
+// assignment / same-scope := reuse), which kills the old value.
+type objUse struct {
+	pos   token.Pos
+	write bool
+}
+
+func runShadow(pass *Pass) error {
+	// Classify assignment targets as writes: reading a stale outer
+	// variable is the bug; overwriting it first is not.
+	writes := map[*ast.Ident]bool{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						writes[id] = true
+					}
+				}
+			case *ast.RangeStmt:
+				if id, ok := n.Key.(*ast.Ident); ok {
+					writes[id] = true
+				}
+				if id, ok := n.Value.(*ast.Ident); ok {
+					writes[id] = true
+				}
+			}
+			return true
+		})
+	}
+	uses := map[types.Object][]objUse{}
+	for id, obj := range pass.TypesInfo.Uses {
+		if v, ok := obj.(*types.Var); ok && !v.IsField() {
+			uses[obj] = append(uses[obj], objUse{pos: id.Pos(), write: writes[id]})
+		}
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var list []ast.Stmt
+			switch n := n.(type) {
+			case *ast.BlockStmt:
+				list = n.List
+			case *ast.CaseClause:
+				list = n.Body
+			case *ast.CommClause:
+				list = n.Body
+			default:
+				return true
+			}
+			for _, st := range list {
+				as, ok := st.(*ast.AssignStmt)
+				if !ok || as.Tok != token.DEFINE {
+					continue
+				}
+				for _, lhs := range as.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok || id.Name == "_" {
+						continue
+					}
+					checkShadowDecl(pass, id, uses)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkShadowDecl(pass *Pass, id *ast.Ident, uses map[types.Object][]objUse) {
+	v, ok := pass.TypesInfo.Defs[id].(*types.Var)
+	if !ok || v.Parent() == nil {
+		return
+	}
+	inner := v.Parent()
+	if inner.Parent() == nil || inner.Parent() == types.Universe {
+		return
+	}
+	_, outerObj := inner.Parent().LookupParent(v.Name(), id.Pos())
+	outer, ok := outerObj.(*types.Var)
+	if !ok || outer.IsField() || outer == v {
+		return
+	}
+	// Intra-function only: package-level redeclaration is pervasive and
+	// harmless; so is shadowing across function-literal boundaries when
+	// the outer is package-scoped.
+	if outer.Parent() == pass.Pkg.Scope() || outer.Parent() == types.Universe {
+		return
+	}
+	if !types.Identical(outer.Type(), v.Type()) {
+		return
+	}
+	// The bug needs the outer variable to be READ after the inner scope
+	// closes; if its first later occurrence is a write, the stale value
+	// can never be observed and the shadow is harmless.
+	var first *objUse
+	for i := range uses[outer] {
+		u := &uses[outer][i]
+		if u.pos > inner.End() && (first == nil || u.pos < first.pos) {
+			first = u
+		}
+	}
+	if first != nil && !first.write {
+		pass.Reportf(id.Pos(),
+			"declaration of %q shadows a %s from an enclosing scope that is read after this block",
+			v.Name(), v.Type())
+	}
+}

@@ -1,0 +1,68 @@
+// Package fixture exercises the determinism analyzer (the directory
+// name ends in "determinism" so the modeled-package gate admits it).
+package fixture
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func wallClock() int64 {
+	return time.Now().UnixNano() // want `time\.Now in modeled-cycle package`
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time\.Since in modeled-cycle package`
+}
+
+func durationMathOK(d time.Duration) time.Duration {
+	return d * 2 // pure arithmetic, no clock read
+}
+
+func unseeded() int {
+	return rand.Intn(10) // want `global rand\.Intn in modeled-cycle package`
+}
+
+func seededOK(r *rand.Rand) int {
+	return r.Intn(10) // deterministic by construction
+}
+
+func appendValues(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v) // want `append inside range over map`
+	}
+	return out
+}
+
+func sendValues(m map[string]int, ch chan int) {
+	for _, v := range m {
+		ch <- v // want `channel send inside range over map`
+	}
+}
+
+func collectNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `collected into keys but never sorted`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func collectAndSortOK(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sliceRangeOK(xs []int) []int {
+	var out []int
+	for _, v := range xs {
+		out = append(out, v)
+	}
+	return out
+}

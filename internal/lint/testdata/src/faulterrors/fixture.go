@@ -1,0 +1,33 @@
+// Package fixture exercises the faulterrors analyzer (the directory
+// name ends in "faulterrors" so the boundary-package gate admits it).
+package fixture
+
+import (
+	"fmt"
+
+	"dana/internal/fault"
+)
+
+func severedChain(err error) error {
+	return fmt.Errorf("read page: %v", err) // want `severs the wrap chain`
+}
+
+func severedWithS(err error) error {
+	return fmt.Errorf("read page: %s", err) // want `severs the wrap chain`
+}
+
+func wrappedOK(err error) error {
+	return fmt.Errorf("read page: %w", err)
+}
+
+func sentinelSevered(page int) error {
+	return fmt.Errorf("walker trapped on page %d: %v", page, fault.ErrVMTrap) // want `fault sentinel ErrVMTrap formatted with %v`
+}
+
+func sentinelWrappedOK(page int) error {
+	return fmt.Errorf("walker trapped on page %d: %w", page, fault.ErrVMTrap)
+}
+
+func nonErrorArgsOK(n int, name string) error {
+	return fmt.Errorf("relation %s has %d pages", name, n)
+}

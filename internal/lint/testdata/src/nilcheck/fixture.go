@@ -1,0 +1,51 @@
+// Package fixture exercises the nilcheck analyzer: uses of a value on
+// the branch where it was just compared equal to nil.
+package fixture
+
+type node struct {
+	next *node
+	val  int
+}
+
+func derefField(n *node) int {
+	if n == nil {
+		return n.val // want `field access n\.val`
+	}
+	return 0
+}
+
+func indexNilSlice(s []int) int {
+	if s == nil {
+		return s[0] // want `index of s`
+	}
+	return 0
+}
+
+func starDeref(p *int) int {
+	if p == nil {
+		return *p // want `dereference of p`
+	}
+	return 0
+}
+
+func reassignedOK(n *node) int {
+	if n == nil {
+		n = &node{}
+		return n.val
+	}
+	return n.val
+}
+
+func guardedOK(n *node) int {
+	if n != nil {
+		return n.val
+	}
+	return 0
+}
+
+func lenOfNilOK(s []int) int {
+	if s == nil {
+		return len(s) // len of nil slice is legal
+	}
+	return len(s)
+}

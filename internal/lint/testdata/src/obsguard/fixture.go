@@ -1,0 +1,36 @@
+// Package fixture exercises the obsguard analyzer: registry lookups
+// belong in setup code, and instrument-call arguments must evaluate
+// without allocating even when the handles are obs.Noop nil pointers.
+package fixture
+
+import (
+	"fmt"
+
+	"dana/internal/obs"
+)
+
+type metered struct {
+	reg   *obs.Registry
+	pages *obs.Counter
+}
+
+// NewMetered is setup code: lookups here are the intended pattern.
+func NewMetered(reg *obs.Registry) *metered {
+	return &metered{reg: reg, pages: reg.Counter("fixture.pages")}
+}
+
+func (m *metered) hotLookup(n int) {
+	c := m.reg.Counter("fixture.pages") // want `obs registry lookup Counter`
+	c.Add(int64(n))
+}
+
+func (m *metered) allocatingArgs(n int) {
+	m.pages.Add(int64(len(fmt.Sprintf("%d", n)))) // want `calls a function returning a heap-backed value`
+	m.pages.Add(int64(len([]int{n})))             // want `builds a composite literal`
+}
+
+func (m *metered) cleanCharges(n int, t0 int64) {
+	m.pages.Add(int64(n))
+	m.pages.Inc()
+	m.reg.Trace("fixture.ev", int64(n), t0)
+}

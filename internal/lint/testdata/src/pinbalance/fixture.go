@@ -1,0 +1,102 @@
+// Package fixture exercises the pinbalance analyzer: each `want`
+// comment is a regexp the golden harness matches against the finding
+// reported on that line; lines without `want` must stay silent.
+package fixture
+
+import "dana/internal/bufpool"
+
+func decode(pg []byte) ([]byte, error) { return pg, nil }
+
+// leakOnDecodeError reproduces the historical PR-4 extractSerial bug:
+// the Pin's err is REUSED by decode, so the later `return nil, err`
+// leaks the pinned page even though it looks like the Pin-failure exit.
+func leakOnDecodeError(p *bufpool.Pool, pages []uint32) ([]byte, error) {
+	var out []byte
+	for _, pn := range pages {
+		pg, err := p.Pin("t", pn) // want `pinned page is not unpinned`
+		if err != nil {
+			return nil, err
+		}
+		row, err := decode(pg)
+		if err != nil {
+			return nil, err // leaks pg: err no longer speaks for the Pin
+		}
+		out = append(out, row...)
+		if err := p.Unpin("t", pn); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func discardResult(p *bufpool.Pool) {
+	p.Pin("t", 0) // want `result of Pool.Pin discarded`
+}
+
+func leakPlain(p *bufpool.Pool) int {
+	pg, err := p.Pin("t", 9) // want `pinned page is not unpinned`
+	if err != nil {
+		return 0
+	}
+	n := len(pg)
+	return n
+}
+
+func balanced(p *bufpool.Pool) (byte, error) {
+	pg, err := p.Pin("t", 1)
+	if err != nil {
+		return 0, err
+	}
+	b := pg[0]
+	if err := p.Unpin("t", 1); err != nil {
+		return 0, err
+	}
+	return b, nil
+}
+
+func deferred(p *bufpool.Pool) (int, error) {
+	pg, err := p.Pin("t", 2)
+	if err != nil {
+		return 0, err
+	}
+	defer p.Unpin("t", 2)
+	return len(pg), nil
+}
+
+func handoffAppend(p *bufpool.Pool, sink *[][]byte) error {
+	pg, err := p.Pin("t", 3)
+	if err != nil {
+		return err
+	}
+	*sink = append(*sink, pg)
+	return nil
+}
+
+func flushClosure(p *bufpool.Pool, pages []uint32) error {
+	var pinned []uint32
+	flush := func() {
+		for _, pn := range pinned {
+			_ = p.Unpin("t", pn)
+		}
+		pinned = pinned[:0]
+	}
+	for _, pn := range pages {
+		_, err := p.Pin("t", pn)
+		if err != nil {
+			return err
+		}
+		pinned = append(pinned, pn)
+		if len(pinned) >= 4 {
+			flush()
+		}
+	}
+	flush()
+	return nil
+}
+
+func suppressed(p *bufpool.Pool) {
+	//danalint:ignore pinbalance -- fixture: exercising the suppression directive itself
+	pg, err := p.Pin("t", 4)
+	_ = pg
+	_ = err
+}

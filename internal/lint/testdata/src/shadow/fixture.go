@@ -1,0 +1,52 @@
+// Package fixture exercises the shadow analyzer: an inner := that
+// shadows an outer variable is reported only when the outer variable
+// is read again after the inner scope closes (the lost-write bug).
+package fixture
+
+func step1() error { return nil }
+func step2() error { return nil }
+
+func shadowedThenRead() error {
+	err := step1()
+	{
+		err := step2() // want `shadows a error from an enclosing scope`
+		_ = err
+	}
+	if err != nil {
+		return err
+	}
+	return nil
+}
+
+func initClauseOK() error {
+	err := step1()
+	if err := step2(); err != nil {
+		return err
+	}
+	return err
+}
+
+func overwrittenAfterOK() error {
+	err := step1()
+	{
+		err := step2()
+		_ = err
+	}
+	err = step1()
+	if err != nil {
+		return err
+	}
+	return nil
+}
+
+func neverReadAgainOK() error {
+	err := step1()
+	_ = err
+	{
+		err := step2()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

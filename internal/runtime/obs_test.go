@@ -163,6 +163,14 @@ func TestObsRuntimeCountersAndTrace(t *testing.T) {
 	if nEpochEvents != res.Epochs {
 		t.Fatalf("trace has %d epoch events, want %d", nEpochEvents, res.Epochs)
 	}
+	// The Strider program was statically verified exactly once, at
+	// accelerator build time, and admitted.
+	if got := r.Get(obs.StriderVerifyRuns); got != 1 {
+		t.Fatalf("verify runs = %d, want 1", got)
+	}
+	if got := r.Get(obs.StriderVerifyRejects); got != 0 {
+		t.Fatalf("verify rejects = %d, want 0", got)
+	}
 }
 
 // TestObsDisabledIsBitIdenticalAndDark: DisableObs leaves every modeled

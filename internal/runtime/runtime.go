@@ -127,6 +127,10 @@ type System struct {
 	obsEpochRetries *obs.Counter
 	obsEpochTimeout *obs.Counter
 	obsCPUFallbacks *obs.Counter
+	// Static-verification instruments.
+	obsVerifyRuns     *obs.Counter
+	obsVerifyWarnings *obs.Counter
+	obsVerifyRejects  *obs.Counter
 }
 
 // New creates the system and installs it as the SQL executor's UDF
@@ -162,6 +166,9 @@ func New(opts Options) *System {
 	s.obsEpochRetries = reg.Counter(obs.RuntimeEpochRetries)
 	s.obsEpochTimeout = reg.Counter(obs.RuntimeEpochTimeout)
 	s.obsCPUFallbacks = reg.Counter(obs.RuntimeCPUFallbacks)
+	s.obsVerifyRuns = reg.Counter(obs.StriderVerifyRuns)
+	s.obsVerifyWarnings = reg.Counter(obs.StriderVerifyWarnings)
+	s.obsVerifyRejects = reg.Counter(obs.StriderVerifyRejects)
 	s.DB.Pool.MaxReadRetries = opts.MaxReadRetries
 	s.DB.Pool.VerifyChecksums = opts.VerifyChecksums
 	if opts.Faults != nil {
@@ -242,6 +249,17 @@ func (s *System) buildAccelerator(udf *catalog.UDF, mergeCoef, numTuples int) (*
 	sprog, scfg, err := strider.Generate(strider.PostgresLayout(s.Opts.PageSize))
 	if err != nil {
 		return nil, err
+	}
+	// Verify once per program, here at build time: every later dispatch
+	// (each epoch, each page) reuses this admission decision. A definite
+	// trap is a compiler bug, rejected before it can quarantine workers.
+	rep := strider.Verify(sprog, scfg, strider.VerifyOptions{PageSize: s.Opts.PageSize})
+	s.obsVerifyRuns.Inc()
+	nWarn := int64(len(rep.Warnings()))
+	s.obsVerifyWarnings.Add(nWarn)
+	if err := rep.Err(false); err != nil {
+		s.obsVerifyRejects.Inc()
+		return nil, fmt.Errorf("runtime: refusing to dispatch unverified Strider program for %s: %w", udf.Name, err)
 	}
 	sched := compiler.ScheduleProgram(prog, design.Engine)
 	acc := &catalog.Accelerator{
@@ -386,7 +404,10 @@ func (s *System) Train(udfName, table string) (*TrainResult, error) {
 	}
 	if res.Degraded {
 		if err := s.trainOnCPU(res, udf, rel, machine, epochs); err != nil {
-			return nil, fmt.Errorf("runtime: CPU fallback after accelerator fault (%v) failed: %w", degradeErr, err)
+			// Both errors wrap: the caller must be able to errors.Is against
+			// the accelerator fault that triggered degradation AND the
+			// fallback failure.
+			return nil, fmt.Errorf("runtime: CPU fallback after accelerator fault (%w) failed: %w", degradeErr, err)
 		}
 	}
 	s.obsTrainWall.Add(time.Since(trainStart).Nanoseconds())

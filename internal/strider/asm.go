@@ -14,8 +14,24 @@ import (
 //	bentr
 //	bexit 1, %t0, %cr0
 func Assemble(src string) ([]Instr, error) {
+	prog, _, err := AssembleWithPos(src)
+	return prog, err
+}
+
+// Pos locates an assembled instruction in its source text (1-based).
+type Pos struct {
+	Line, Col int
+}
+
+// AssembleWithPos is Assemble plus a per-instruction source position
+// (the mnemonic's line and column), letting callers map verifier
+// diagnostics — which are anchored to program counters — back to the
+// assembly text.
+func AssembleWithPos(src string) ([]Instr, []Pos, error) {
 	var prog []Instr
-	for lineno, line := range strings.Split(src, "\n") {
+	var pos []Pos
+	for lineno, raw := range strings.Split(src, "\n") {
+		line := raw
 		for _, marker := range []string{`\\`, "//", ";", "#"} {
 			if i := strings.Index(line, marker); i >= 0 {
 				line = line[:i]
@@ -29,7 +45,7 @@ func Assemble(src string) ([]Instr, error) {
 		mnemonic := strings.TrimSpace(fields[0])
 		op, ok := opcodeByName(mnemonic)
 		if !ok {
-			return nil, fmt.Errorf("strider: line %d: unknown mnemonic %q", lineno+1, mnemonic)
+			return nil, nil, fmt.Errorf("strider: line %d: unknown mnemonic %q", lineno+1, mnemonic)
 		}
 		in := Instr{Op: op}
 		var operands []string
@@ -43,19 +59,33 @@ func Assemble(src string) ([]Instr, error) {
 		}
 		want := operandCount(op)
 		if len(operands) != want {
-			return nil, fmt.Errorf("strider: line %d: %s takes %d operands, got %d", lineno+1, op, want, len(operands))
+			return nil, nil, fmt.Errorf("strider: line %d: %s takes %d operands, got %d", lineno+1, op, want, len(operands))
 		}
 		dst := []*Operand{&in.A, &in.B, &in.C}
 		for i, o := range operands {
 			parsed, err := parseOperand(o)
 			if err != nil {
-				return nil, fmt.Errorf("strider: line %d: %v", lineno+1, err)
+				return nil, nil, fmt.Errorf("strider: line %d: %w", lineno+1, err)
 			}
 			*dst[i] = parsed
 		}
 		prog = append(prog, in)
+		pos = append(pos, Pos{Line: lineno + 1, Col: strings.Index(raw, mnemonic) + 1})
 	}
-	return prog, nil
+	return prog, pos, nil
+}
+
+// AssembleVerified assembles src and verifies the result against cfg
+// and pageSize, returning the report with diagnostics already mapped to
+// source positions via the returned Pos table. Assembly errors are
+// returned as-is; verification outcomes live in the report so callers
+// choose their own strictness.
+func AssembleVerified(src string, cfg Config, opts VerifyOptions) ([]Instr, []Pos, *Report, error) {
+	prog, pos, err := AssembleWithPos(src)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return prog, pos, Verify(prog, cfg, opts), nil
 }
 
 // Disassemble renders a program as assembly text.

@@ -81,7 +81,21 @@ bexit 1, %%t0, %%cr0        \\ exit once the pointer reaches pd_lower
 	if err != nil {
 		return nil, Config{}, fmt.Errorf("strider: generated program failed to assemble: %w", err)
 	}
+	if err := verifyGenerated(prog, cfg, layout.PageSize); err != nil {
+		return nil, Config{}, err
+	}
 	return prog, cfg, nil
+}
+
+// verifyGenerated is the compiler's own gate: a generated walker with a
+// definite trap is a code-generation bug, never a data problem, so it
+// fails generation outright rather than trapping a Strider at dispatch.
+func verifyGenerated(prog []Instr, cfg Config, pageSize int) error {
+	rep := Verify(prog, cfg, VerifyOptions{PageSize: pageSize})
+	if err := rep.Err(false); err != nil {
+		return fmt.Errorf("strider: generated program failed verification: %w", err)
+	}
+	return nil
 }
 
 // ExpectedOutputBytes returns how many bytes the generated program emits

@@ -68,5 +68,8 @@ bexit 0, %%t0, 0            \\ end of chain (next == 0)
 	if err != nil {
 		return nil, Config{}, fmt.Errorf("strider: generated InnoDB program failed to assemble: %w", err)
 	}
+	if err := verifyGenerated(prog, cfg, layout.PageSize); err != nil {
+		return nil, Config{}, err
+	}
 	return prog, cfg, nil
 }
