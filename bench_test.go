@@ -574,6 +574,45 @@ func BenchmarkParallelExtract(b *testing.B) {
 	}
 }
 
+// BenchmarkChannelSweep measures one full re-extracting epoch with the
+// pages sharded across 1/2/4/8 memory channels (one Strider group and
+// one record arena per channel). Modeled stats are charged by the
+// coordinator in global page order, so cycle counts and trained models
+// are bit-identical at every channel count; only wall-clock moves.
+func BenchmarkChannelSweep(b *testing.B) {
+	for _, channels := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("channels=%d", channels), func(b *testing.B) {
+			eng, err := Open(Config{
+				PageSize: 32 << 10, PoolBytes: 128 << 20,
+				Workers: 4, Channels: channels, NoExtractCache: true,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			d, err := eng.LoadWorkload("Remote Sensing LR", 0.02, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			a, err := d.DSLAlgo(64)
+			if err != nil {
+				b.Fatal(err)
+			}
+			a.SetEpochs(1)
+			if err := eng.RegisterUDF(a, 64); err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(d.Rel.NumPages()) * int64(storage.PageSize32K))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Train(a.Name, d.Rel.Name); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(d.Tuples)*float64(b.N)/b.Elapsed().Seconds(), "tuples/s")
+		})
+	}
+}
+
 // BenchmarkTrainWallClock measures a multi-epoch training query end to
 // end: the serial re-extracting executor versus the pipelined worker
 // pool combined with the cross-epoch record cache (epochs >= 2 skip the

@@ -47,6 +47,7 @@ func main() {
 		"fig14": fig14, "fig15": fig15, "fig16": fig16,
 		"pagesweep": pageSweep, "batch": batchConv, "ablation": ablations,
 		"scorecard": scorecard, "schedule": schedule, "custom": custom,
+		"channels": channelSweep,
 	}
 	if *exp == "all" {
 		names := make([]string, 0, len(runners))
@@ -165,6 +166,27 @@ func ablations(env experiments.Env) error {
 	}
 	for _, r := range append(rows, gm) {
 		fmt.Println(experiments.FormatAblation(r))
+	}
+	return nil
+}
+
+// channelSweep extends Figure 14 along the memory-channel axis and
+// emits CSV (one row per workload × channel count × bandwidth scale).
+// The experiment fails — and danabench exits non-zero — if any sweep
+// point violates the channel model's charging identities (aggregate =
+// channels × per-channel, 1-channel ≡ legacy scalar, transfer ≡ serial
+// per-page recomputation).
+func channelSweep(env experiments.Env) error {
+	header("Channel sweep: epoch pipeline vs bandwidth × memory channels (Fig 14 extended, CSV)")
+	rows, err := experiments.ChannelSweep(env)
+	if err != nil {
+		return err
+	}
+	fmt.Println("workload,channels,scale,aggregate_gb_s,transfer_s,pipeline_s,speedup,saturated")
+	for _, r := range rows {
+		fmt.Printf("%s,%d,%g,%.3f,%.6g,%.6g,%.3f,%t\n",
+			r.Name, r.Channels, r.Scale, r.AggregateBW/1e9,
+			r.TransferSec, r.PipelineSec, r.Speedup, r.Saturated)
 	}
 	return nil
 }

@@ -13,6 +13,8 @@
 //	                         # breakdown: per-component cycles (summing
 //	                         # exactly to the modeled total) and
 //	                         # compute/access utilization, Fig 10 style
+//	danactl stats -channels 4  # adds the per-channel stream split:
+//	                         # bytes, busy cycles, utilization skew
 //	danactl stats -json      # machine-readable obs snapshot instead
 //	danactl trace            # train, then dump the trace-event ring
 package main
@@ -41,6 +43,7 @@ func main() {
 		merge    = flag.Int("merge", 64, "merge coefficient (max accelerator threads)")
 		epochs   = flag.Int("epochs", 3, "training epochs")
 		pageKB   = flag.Int("page", 32, "page size in KB (8, 16, 32)")
+		channels = flag.Int("channels", 1, "modeled memory channels (1-32); partitions extraction and scales link bandwidth")
 		seed     = flag.Int64("seed", 1, "dataset generator seed")
 		udfFile  = flag.String("udf", "", "optional DSL source file overriding the built-in UDF")
 		sqlStmt  = flag.String("sql", "", "optional SQL to run instead of training")
@@ -49,7 +52,7 @@ func main() {
 	)
 	check(flag.CommandLine.Parse(args))
 
-	eng, err := dana.Open(dana.Config{PageSize: *pageKB << 10, PoolBytes: 256 << 20})
+	eng, err := dana.Open(dana.Config{PageSize: *pageKB << 10, PoolBytes: 256 << 20, Channels: *channels})
 	check(err)
 
 	ds, err := eng.LoadWorkload(*workload, *scale, *seed)
@@ -185,6 +188,33 @@ func printStats(eng *dana.Engine, res *runtime.TrainResult) {
 	fmt.Printf("  %-22s %14d pages, %d tuples, %d bytes, %d VM instructions\n",
 		"walked", r.Get(obs.StriderPages), r.Get(obs.StriderTuples),
 		r.Get(obs.StriderBytes), r.Get(obs.StriderInstrs))
+
+	if n := r.Get(obs.ChannelCount); n > 0 {
+		fmt.Printf("=== memory channels (%d) ===\n", n)
+		var sumBytes, sumBusy, maxBusy int64
+		for c := 0; c < int(n); c++ {
+			bytes := r.Get(obs.ChannelBytesStreamed(c))
+			busy := r.Get(obs.ChannelBusyCycles(c))
+			sumBytes += bytes
+			sumBusy += busy
+			if busy > maxBusy {
+				maxBusy = busy
+			}
+			fmt.Printf("  channel %-14d %14d bytes streamed, %d busy cycles\n", c, bytes, busy)
+		}
+		skew := 1.0
+		if sumBusy > 0 {
+			skew = float64(maxBusy) / (float64(sumBusy) / float64(n))
+		}
+		fmt.Printf("  %-22s %14.3f (max/mean busy; 1.0 = perfectly balanced)\n", "utilization skew", skew)
+		// The channel split is a partition of the Strider totals: every
+		// streamed byte and every busy cycle belongs to exactly one channel.
+		if sumBytes != r.Get(obs.StriderBytes) || sumBusy != r.Get(obs.StriderCyclesTotal) {
+			fmt.Fprintf(os.Stderr, "danactl: channel accounting broken: %d bytes / %d cycles across channels != strider totals %d / %d\n",
+				sumBytes, sumBusy, r.Get(obs.StriderBytes), r.Get(obs.StriderCyclesTotal))
+			os.Exit(1)
+		}
+	}
 
 	fmt.Printf("=== buffer pool ===\n")
 	hits, misses := r.Get(obs.PoolHits), r.Get(obs.PoolMisses)

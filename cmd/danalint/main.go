@@ -6,6 +6,7 @@
 //	pinbalance   every bufpool Pin is Unpinned on all paths (or handed off)
 //	determinism  no wall-clock/rand/map-order effects in modeled-cycle packages
 //	obsguard     obs call sites stay zero-alloc and lookup-free under obs.Noop
+//	hotalloc     no heap allocation in //dana:hotpath extraction/merge functions
 //	faulterrors  typed fault sentinels survive wrapping (%w, not %v)
 //	shadow       no same-typed shadowing of a variable still used afterwards
 //	nilcheck     no dereference of a variable proven nil

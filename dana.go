@@ -46,6 +46,15 @@ type Config struct {
 	// serial). Host parallelism changes wall-clock time only — modeled
 	// cycle counts and simulated seconds are bit-identical either way.
 	Workers int
+	// Channels models the accelerator link as N independent memory
+	// channels (0/1 = the single legacy channel, capped at 32). The
+	// setting reaches both sides of the simulator: the cost model
+	// charges epoch transfer as the slowest channel's round-robin page
+	// share (aggregate bandwidth = N × per-channel, paper Fig 14), and
+	// the host executor partitions extraction into per-channel Strider
+	// groups with one record arena per channel. Per-channel traffic
+	// appears as obs counters channel.<i>.* (see `danactl stats`).
+	Channels int
 	// PipelineDepth bounds in-flight extracted page batches per worker
 	// (0 = default).
 	PipelineDepth int
@@ -109,6 +118,8 @@ func Open(cfg Config) (*Engine, error) {
 	opts.PoolBytes = cfg.PoolBytes
 	opts.MaxEpochs = cfg.MaxEpochs
 	opts.Workers = cfg.Workers
+	opts.Channels = cfg.Channels
+	opts.Cost.Link.Channels = cfg.Channels
 	opts.PipelineDepth = cfg.PipelineDepth
 	opts.NoExtractCache = cfg.NoExtractCache
 	opts.DisableObs = cfg.DisableObs

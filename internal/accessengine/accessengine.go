@@ -120,7 +120,9 @@ func newWith(layout strider.PageLayout, schema *storage.Schema, numStriders int,
 		}
 	}
 	for i := 0; i < numStriders; i++ {
-		e.vms = append(e.vms, strider.NewVM(prog, cfg))
+		vm := strider.NewVM(prog, cfg)
+		vm.Reserve(layout.PageSize)
+		e.vms = append(e.vms, vm)
 	}
 	return e, nil
 }
@@ -140,6 +142,8 @@ func (e *Engine) ResetStats() { e.stats = Stats{} }
 // Deformat converts one tuple's payload bytes into float32 values, one
 // per column (ints converted to float; float8 narrowed). This is the
 // "transform user data into a floating point format" step of §6.2.
+//
+//dana:hotpath
 func Deformat(schema *storage.Schema, data []byte, dst []float32) ([]float32, error) {
 	if len(data) < schema.DataWidth() {
 		return dst, fmt.Errorf("accessengine: payload %d bytes, schema needs %d", len(data), schema.DataWidth())
@@ -167,13 +171,20 @@ func Deformat(schema *storage.Schema, data []byte, dst []float32) ([]float32, er
 // a per-tuple allocation. Cycles and Bytes carry the modeled Strider
 // counters so stats can be charged later — and deterministically — by a
 // Collector, independent of which host goroutine ran the extraction.
+//
+// When Arena is set, Data extents that outgrow their current capacity
+// are carved from that slab instead of the heap (the per-channel
+// zero-copy path); Data capacity is still reused first, so a recycled
+// PageResult touches the arena only when a page needs a larger extent.
 type PageResult struct {
 	PageNo int
 	Rows   [][]float32
 	Data   []float32
+	Arena  *Arena // optional slab backing Data (nil = heap)
 	Cycles int64
 	Bytes  int64
 	Steps  int64 // strider VM instructions retired on this page
+	WalkNs int64 // host wall-clock of the walk (observability only, never modeled)
 }
 
 // ExtractPage runs the page through Strider vmIdx and deformats the
@@ -181,6 +192,8 @@ type PageResult struct {
 // not touch the engine's stats (see Collector); calls are safe
 // concurrently as long as each goroutine uses a distinct vmIdx — the
 // host-parallel analogue of the S independent Striders.
+//
+//dana:hotpath
 func (e *Engine) ExtractPage(vmIdx int, page storage.Page, res *PageResult) error {
 	if err := e.faults.TrapFault(vmIdx, res.PageNo); err != nil {
 		return err
@@ -199,7 +212,12 @@ func (e *Engine) ExtractPage(vmIdx int, page storage.Page, res *PageResult) erro
 	total := n * cols
 	data := res.Data[:0]
 	if cap(data) < total {
-		data = make([]float32, 0, total)
+		if res.Arena != nil {
+			data = res.Arena.Alloc(total)
+		} else {
+			//danalint:ignore hotalloc -- capacity-guarded growth for arena-less callers
+			data = make([]float32, 0, total)
+		}
 	}
 	if e.allF32 {
 		// Packed float4 schema: the payload is one flat little-endian
@@ -221,6 +239,7 @@ func (e *Engine) ExtractPage(vmIdx int, page storage.Page, res *PageResult) erro
 	// array is final now.
 	rows := res.Rows[:0]
 	if cap(rows) < n {
+		//danalint:ignore hotalloc -- capacity-guarded growth, reused once recycled
 		rows = make([][]float32, 0, n)
 	}
 	for i := 0; i < n; i++ {
@@ -248,6 +267,14 @@ type Collector struct {
 
 // NewCollector starts a stats collection (one per page stream).
 func (e *Engine) NewCollector() *Collector { return &Collector{e: e} }
+
+// Reset re-arms the collector for a new page stream, discarding any
+// group in flight (used when reusing one collector across epochs; a
+// Flush already leaves the collector reset).
+func (c *Collector) Reset() {
+	c.fill = 0
+	c.max = 0
+}
 
 // Add charges one page's counters, in page order.
 func (c *Collector) Add(r *PageResult) {

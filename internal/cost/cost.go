@@ -36,9 +36,14 @@ type Params struct {
 	DiskBytesPerSec float64
 	PoolBytes       int64
 
-	// FPGA link and clock.
+	// FPGA link and clock. The link is Channels independent channels
+	// (see ChannelModel); BandwidthScale is the Figure 14 multiplier
+	// applied to the *per-channel* bandwidth, so the aggregate link rate
+	// is Channels × per-channel × scale. The zero-value Link is the
+	// legacy single PCIe/AXI channel.
 	PCIeBytesPerSec  float64
-	BandwidthScale   float64 // Figure 14 multiplier
+	BandwidthScale   float64 // Figure 14 multiplier (per channel)
+	Link             ChannelModel
 	FPGAClockHz      float64
 	SetupSec         float64 // bitstream/config/queue setup per query
 	EpochDispatchSec float64 // per-epoch scan re-issue/handshake on the DAnA paths
@@ -180,14 +185,16 @@ func MADlibGreenplum(w Workload, p Params, segments int, warm bool) Breakdown {
 	return b.total()
 }
 
-// DAnA models the full system: Striders stream pages over PCIe while
-// the execution engine computes; per epoch the pipeline is limited by
-// the slowest of {engine compute, PCIe transfer, strider unpacking}
-// (the interleaving of §5.1.1). Disk I/O is not overlapped (§7.1).
+// DAnA models the full system: Striders stream pages over the link
+// channels while the execution engine computes; per epoch the pipeline
+// is limited by the slowest of {engine compute, link transfer, strider
+// unpacking} (the interleaving of §5.1.1). Transfer is the
+// max-over-channels charge of danaTransferSec. Disk I/O is not
+// overlapped (§7.1).
 func DAnA(w Workload, p Params, warm bool) Breakdown {
 	w = withDanaEpochs(w)
 	compute := float64(w.Epochs) * float64(w.EpochCycles) / p.FPGAClockHz
-	transfer := float64(w.Epochs) * float64(w.DatasetBytes) / (p.PCIeBytesPerSec * p.BandwidthScale)
+	transfer := danaTransferSec(w, p)
 	striders := w.Striders
 	if striders < 1 {
 		striders = 1
@@ -212,7 +219,7 @@ func DAnA(w Workload, p Params, warm bool) Breakdown {
 func DAnAPipelineSec(w Workload, p Params) float64 {
 	w = withDanaEpochs(w)
 	compute := float64(w.Epochs) * float64(w.EpochCycles) / p.FPGAClockHz
-	transfer := float64(w.Epochs) * float64(w.DatasetBytes) / (p.PCIeBytesPerSec * p.BandwidthScale)
+	transfer := danaTransferSec(w, p)
 	striders := w.Striders
 	if striders < 1 {
 		striders = 1
@@ -230,7 +237,7 @@ func DAnANoStrider(w Workload, p Params, warm bool) Breakdown {
 	compute := float64(w.Epochs) * float64(w.EpochCycles) / p.FPGAClockHz
 	feedPerTuple := p.ExtractFraction * (p.TupleBaseSec + float64(w.Columns)*p.ColumnDeformSec)
 	feed := float64(w.Epochs) * float64(w.Tuples) * feedPerTuple
-	transfer := float64(w.Epochs) * float64(w.DatasetBytes) / (p.PCIeBytesPerSec * p.BandwidthScale)
+	transfer := danaTransferSec(w, p)
 	b := Breakdown{
 		IOSec:       ioSec(w, p, warm),
 		ComputeSec:  compute,
@@ -290,7 +297,7 @@ func ExternalLibrary(lib LibKind, algo string, w Workload, p Params) Breakdown {
 func DAnANoInterleave(w Workload, p Params, warm bool) Breakdown {
 	w = withDanaEpochs(w)
 	compute := float64(w.Epochs) * float64(w.EpochCycles) / p.FPGAClockHz
-	transfer := float64(w.Epochs) * float64(w.DatasetBytes) / (p.PCIeBytesPerSec * p.BandwidthScale)
+	transfer := danaTransferSec(w, p)
 	striders := w.Striders
 	if striders < 1 {
 		striders = 1
@@ -312,12 +319,12 @@ const TupleHandshakeSec = 1.2e-6
 
 // DAnATupleGranularity is the ablation of page-granularity access:
 // each tuple ships as its own small DMA, so transfer is dominated by
-// per-transfer latency instead of bandwidth and cannot amortize.
+// per-transfer latency instead of bandwidth and cannot amortize (the
+// tuple stream interleaves round-robin across the link channels).
 func DAnATupleGranularity(w Workload, p Params, warm bool) Breakdown {
 	w = withDanaEpochs(w)
 	compute := float64(w.Epochs) * float64(w.EpochCycles) / p.FPGAClockHz
-	perTuple := TupleHandshakeSec + float64(w.DatasetBytes)/float64(max1(w.Tuples))/(p.PCIeBytesPerSec*p.BandwidthScale)
-	transfer := float64(w.Epochs) * float64(w.Tuples) * perTuple
+	transfer := tupleTransferSec(w, p)
 	b := Breakdown{
 		IOSec:       ioSec(w, p, warm),
 		ComputeSec:  compute,

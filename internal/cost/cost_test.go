@@ -107,6 +107,12 @@ func TestBandwidthScalingMonotone(t *testing.T) {
 	}
 }
 
+// TestBandwidthDoesNotHelpComputeBound asserts the channel-model
+// invariants on a compute-bound workload: neither the Figure-14 scale
+// nor the channel count moves the pipeline time once the engine is the
+// bottleneck; aggregate bandwidth is channels × per-channel; and the
+// degenerate 1-channel configuration is bit-identical to the legacy
+// scalar BandwidthScale numbers.
 func TestBandwidthDoesNotHelpComputeBound(t *testing.T) {
 	w := sampleWorkload()
 	w.EpochCycles = 1e12 // dominate everything
@@ -115,6 +121,31 @@ func TestBandwidthDoesNotHelpComputeBound(t *testing.T) {
 	p.BandwidthScale = 4
 	if DAnAPipelineSec(w, p) != base {
 		t.Error("compute-bound workload should ignore bandwidth")
+	}
+	for _, ch := range []int{1, 4, 8, 32} {
+		pc := p
+		pc.Link.Channels = ch
+		if got := DAnAPipelineSec(w, pc); got != base {
+			t.Errorf("compute-bound pipeline moved with %d channels: %v != %v", ch, got, base)
+		}
+		// Aggregate bandwidth = channels × per-channel, exactly.
+		if got, want := AggregateBandwidth(pc), float64(ch)*ChannelBandwidth(pc); got != want {
+			t.Errorf("aggregate bandwidth %v != %d × per-channel %v", got, ch, want/float64(ch))
+		}
+	}
+	// Degenerate 1-channel config: every DAnA-path transfer charge must
+	// reproduce the legacy scalar formula bit-for-bit, for any scale.
+	for _, sc := range []float64{0.25, 0.5, 1, 2, 4} {
+		pp := Default()
+		pp.BandwidthScale = sc
+		legacy := float64(w.Epochs) * float64(w.DatasetBytes) / (pp.PCIeBytesPerSec * pp.BandwidthScale)
+		if got := danaTransferSec(w, pp); got != legacy {
+			t.Errorf("scale %v: 1-channel transfer %v != legacy %v (not bit-identical)", sc, got, legacy)
+		}
+		pp.Link = ChannelModel{Channels: 1}
+		if got := danaTransferSec(w, pp); got != legacy {
+			t.Errorf("scale %v: explicit 1-channel transfer %v != legacy %v", sc, got, legacy)
+		}
 	}
 }
 

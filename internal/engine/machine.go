@@ -189,6 +189,8 @@ func (m *Machine) ensureHelpers(w int) {
 // accumulate. It only touches those threads' scratchpads, accumulators,
 // and cycle counters, so partitions are mutually independent; no shared
 // stats are written (the caller charges them from static costs).
+//
+//dana:hotpath
 func (m *Machine) runPartition(tuples [][]float32, k, w, W int, errp *error) {
 	p := m.Prog
 	accs := m.mergeAccs[:k]
@@ -302,6 +304,8 @@ func alu(op AluOp, a, b float32) float32 {
 
 // exec runs one macro instruction on thread t (cycle costs are charged
 // by the caller from the precomputed tables).
+//
+//dana:hotpath
 func (m *Machine) exec(t int, in *Instr) error {
 	th := m.scratch[t]
 	switch in.Kind {
@@ -486,6 +490,8 @@ func (m *Machine) runList(t int, list []Instr) error {
 
 // loadTuple writes tuple values into thread t's input region (the cycle
 // cost is the static m.cycLoad).
+//
+//dana:hotpath
 func (m *Machine) loadTuple(t int, tuple []float32) error {
 	s := m.Prog.InputSlot
 	if len(tuple) != s.Len {
@@ -499,6 +505,8 @@ func (m *Machine) loadTuple(t int, tuple []float32) error {
 // runs tuple-at-a-time SGD on thread 0; with one, tuples are dealt
 // round-robin over the threads, per-thread merge values accumulate
 // locally, and the tree bus combines them before the post-merge update.
+//
+//dana:hotpath
 func (m *Machine) RunBatch(tuples [][]float32) error {
 	p := m.Prog
 	if len(tuples) == 0 {
@@ -548,9 +556,11 @@ func (m *Machine) RunBatch(tuples [][]float32) error {
 		k = len(tuples)
 	}
 	if cap(m.mergeAccs) < k {
+		//danalint:ignore hotalloc -- capacity-guarded first-batch growth, reused afterwards
 		m.mergeAccs = make([][]float32, k)
 	}
 	if cap(m.threadCyc) < k {
+		//danalint:ignore hotalloc -- capacity-guarded first-batch growth, reused afterwards
 		m.threadCyc = make([]int64, k)
 	}
 	accs := m.mergeAccs[:k]
@@ -582,6 +592,7 @@ func (m *Machine) RunBatch(tuples [][]float32) error {
 	} else {
 		m.ensureHelpers(W)
 		if cap(m.partErrs) < W {
+			//danalint:ignore hotalloc -- capacity-guarded first-batch growth, reused afterwards
 			m.partErrs = make([]error, W)
 		}
 		errs := m.partErrs[:W]
@@ -717,9 +728,21 @@ func (m *Machine) StreamEpoch(batchSize int) *EpochStream {
 	return &EpochStream{m: m, batchSize: batchSize}
 }
 
+// Reset re-arms the stream for a new epoch, keeping its buffers — the
+// merge path's cross-epoch buffer reuse (a stream abandoned mid-epoch
+// by a failed run is safe to reuse after Reset).
+func (s *EpochStream) Reset() {
+	s.buf = s.buf[:0]
+	s.arena = s.arena[:0]
+}
+
 // Feed appends tuples to the epoch, running every batch that fills. Any
 // tuples Feed must buffer are copied by value, so the caller may reuse
-// the tuples' backing storage as soon as Feed returns.
+// the tuples' backing storage as soon as Feed returns. Full batches run
+// directly on the caller's row views (zero-copy); only a partial tail
+// is value-copied into the stream's own arena.
+//
+//dana:hotpath
 func (s *EpochStream) Feed(tuples [][]float32) error {
 	for len(tuples) > 0 {
 		// Fast path: no partial batch pending, run directly from the input.
@@ -743,6 +766,7 @@ func (s *EpochStream) Feed(tuples [][]float32) error {
 				if blk < 1024 {
 					blk = 1024
 				}
+				//danalint:ignore hotalloc -- capacity-guarded arena growth, reused across batches
 				s.arena = make([]float32, 0, blk)
 				start = 0
 			}

@@ -9,6 +9,7 @@ func All() []*Analyzer {
 		PinBalance,
 		Determinism,
 		ObsGuard,
+		HotAlloc,
 		FaultErrors,
 		Shadow,
 		NilCheck,

@@ -77,6 +77,7 @@ func TestAnalyzersGolden(t *testing.T) {
 		{PinBalance, "pinbalance"},
 		{Determinism, "determinism"},
 		{ObsGuard, "obsguard"},
+		{HotAlloc, "hotalloc"},
 		{FaultErrors, "faulterrors"},
 		{Shadow, "shadow"},
 		{NilCheck, "nilcheck"},

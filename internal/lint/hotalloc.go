@@ -1,0 +1,243 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// HotAlloc protects the zero-copy extraction/merge guarantee: functions
+// marked with a `//dana:hotpath` doc-comment directive run once per
+// page (or per merge batch) in the steady state, and a heap allocation
+// there turns into per-tuple GC pressure that the channel arenas exist
+// to eliminate. Inside marked functions the analyzer reports:
+//
+//   - make, new, and non-self appends (`x = append(x, ...)` — including
+//     a resliced LHS like `x = append(x[:0], ...)` — is the
+//     capacity-backed reuse idiom and stays exempt);
+//   - heap-bound composite literals: &T{...}, slice and map literals
+//     (plain struct *values* do not allocate and pass);
+//   - func literals (closures capture and escape), except a literal
+//     deferred directly — open-coded defers stay on the stack;
+//   - go statements (a goroutine per page is exactly the churn the
+//     per-epoch worker pool avoids);
+//   - string concatenation and string<->[]byte/[]rune conversions.
+//
+// Plain function calls are NOT flagged: cold error paths may build
+// fmt.Errorf values, and callee analysis is the callee's own mark to
+// opt into. Audited exceptions (capacity-guarded growth, counted arena
+// overflow fallbacks) use `//danalint:ignore hotalloc -- reason`.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "no heap allocation in //dana:hotpath extraction and merge functions",
+	Run:  runHotAlloc,
+}
+
+// hotpathDirective marks a function as allocation-free-by-contract.
+const hotpathDirective = "dana:hotpath"
+
+func isHotpathMarked(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if text == hotpathDirective {
+			return true
+		}
+	}
+	return false
+}
+
+func runHotAlloc(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !isHotpathMarked(fn.Doc) {
+				continue
+			}
+			checkHotFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkHotFunc(pass *Pass, fn *ast.FuncDecl) {
+	name := fn.Name.Name
+	// Appends whose destination reuses the appended slice's backing
+	// array, and func literals consumed by an open-coded defer, are
+	// exempt; collect them first so the flat walk below can skip them.
+	selfAppends := map[*ast.CallExpr]bool{}
+	deferredLits := map[*ast.FuncLit]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || i >= len(n.Lhs) || !isBuiltinCall(pass, call, "append") || len(call.Args) == 0 {
+					continue
+				}
+				if exprText(stripReslice(call.Args[0])) == exprText(n.Lhs[i]) {
+					selfAppends[call] = true
+				}
+			}
+		case *ast.DeferStmt:
+			if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+				deferredLits[lit] = true
+			}
+		}
+		return true
+	})
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkHotCall(pass, name, n, selfAppends)
+		case *ast.CompositeLit:
+			checkHotComposite(pass, name, n)
+		case *ast.FuncLit:
+			if !deferredLits[n] {
+				pass.Reportf(n.Pos(),
+					"func literal in hot path %s: closures allocate; hoist the function or its captured state", name)
+			}
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(),
+				"go statement in hot path %s: spawns a goroutine per call; use a persistent worker pool", name)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, isLit := ast.Unparen(n.X).(*ast.CompositeLit); isLit {
+					pass.Reportf(n.Pos(),
+						"&composite literal in hot path %s: escapes to the heap; reuse a pooled or hoisted value", name)
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isStringUnderlying(pass.TypesInfo.Types[n.X].Type) {
+				pass.Reportf(n.Pos(),
+					"string concatenation in hot path %s: allocates a new string per call", name)
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isStringUnderlying(pass.TypesInfo.Types[n.Lhs[0]].Type) {
+				pass.Reportf(n.Pos(),
+					"string concatenation in hot path %s: allocates a new string per call", name)
+			}
+		}
+		return true
+	})
+}
+
+func checkHotCall(pass *Pass, name string, call *ast.CallExpr, selfAppends map[*ast.CallExpr]bool) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "make":
+				pass.Reportf(call.Pos(),
+					"make in hot path %s: allocates per call; hoist the buffer to the enclosing struct and reuse it", name)
+			case "new":
+				pass.Reportf(call.Pos(),
+					"new in hot path %s: allocates per call; reuse a pooled or arena-backed value", name)
+			case "append":
+				if !selfAppends[call] {
+					pass.Reportf(call.Pos(),
+						"append to a different slice in hot path %s: copies into fresh backing storage; append in place (x = append(x, ...))", name)
+				}
+			}
+			return
+		}
+	}
+	// A call whose operand position holds a type is a conversion;
+	// string <-> byte/rune-slice conversions copy their payload.
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || !tv.IsType() || len(call.Args) != 1 {
+		return
+	}
+	dst, src := tv.Type, pass.TypesInfo.Types[call.Args[0]].Type
+	if src == nil {
+		return
+	}
+	if (isStringUnderlying(dst) && isByteOrRuneSlice(src)) || (isByteOrRuneSlice(dst) && isStringUnderlying(src)) {
+		pass.Reportf(call.Pos(),
+			"string conversion in hot path %s: copies the payload per call", name)
+	}
+}
+
+// checkHotComposite flags composite literals that force a heap
+// allocation: slice and map literals always allocate backing storage,
+// and &T{...} escapes in every interesting case. Plain struct values
+// (batchJob{...} handed to a channel, PageResult{} zeroing) live in
+// registers or on the stack and pass.
+func checkHotComposite(pass *Pass, name string, lit *ast.CompositeLit) {
+	tv, ok := pass.TypesInfo.Types[lit]
+	if !ok || tv.Type == nil {
+		return
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Slice:
+		pass.Reportf(lit.Pos(),
+			"slice literal in hot path %s: allocates backing storage per call; reuse a hoisted buffer", name)
+	case *types.Map:
+		pass.Reportf(lit.Pos(),
+			"map literal in hot path %s: allocates per call; hoist the map and clear it instead", name)
+	}
+}
+
+// stripReslice unwraps parens and slice expressions: append(x[:0], ...)
+// reuses x's backing array, so the self-append exemption compares the
+// root expression.
+func stripReslice(e ast.Expr) ast.Expr {
+	for {
+		switch v := ast.Unparen(e).(type) {
+		case *ast.SliceExpr:
+			e = v.X
+		default:
+			return v
+		}
+	}
+}
+
+// exprText renders an expression for syntactic equality (identifiers,
+// selectors, and index expressions — the shapes append destinations
+// take).
+func exprText(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprText(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return exprText(e.X) + "[" + exprText(e.Index) + "]"
+	case *ast.BasicLit:
+		return e.Value
+	default:
+		return "?"
+	}
+}
+
+func isBuiltinCall(pass *Pass, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+func isStringUnderlying(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
+		b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}

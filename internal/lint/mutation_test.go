@@ -124,6 +124,60 @@ import "time"
 func stamp() int64 { return time.Unix(0, 0).UnixNano() }
 `
 
+// hotLoopBuggy replants the pre-arena extraction loop in shape: a
+// fresh PageResult and a fresh record slice per page, exactly the
+// per-tuple churn the channel arenas removed. The allocation guard
+// caught this at runtime (AllocsPerRun scaling with pages); hotalloc
+// must catch it at compile time.
+const hotLoopBuggy = `package runtime
+
+type pageResult struct {
+	rows [][]float32
+	data []float32
+}
+
+type runner struct {
+	res pageResult
+}
+
+//dana:hotpath
+func (r *runner) extractPage(tuples [][]float32, cols int) *pageResult {
+	res := new(pageResult)
+	res.data = make([]float32, 0, len(tuples)*cols)
+	for _, t := range tuples {
+		res.data = append(res.data, t...)
+		res.rows = append(res.rows, res.data[len(res.data)-cols:])
+	}
+	return res
+}
+`
+
+// hotLoopFixed is the arena-era shape: the result and its buffers live
+// on the runner and are reused via self-appends.
+const hotLoopFixed = `package runtime
+
+type pageResult struct {
+	rows [][]float32
+	data []float32
+}
+
+type runner struct {
+	res pageResult
+}
+
+//dana:hotpath
+func (r *runner) extractPage(tuples [][]float32, cols int) *pageResult {
+	res := &r.res
+	res.data = res.data[:0]
+	res.rows = res.rows[:0]
+	for _, t := range tuples {
+		res.data = append(res.data, t...)
+		res.rows = append(res.rows, res.data[len(res.data)-cols:])
+	}
+	return res
+}
+`
+
 // writeScratchModule lays out a scratch module and returns its root.
 func writeScratchModule(t *testing.T, files map[string]string) string {
 	t.Helper()
@@ -177,6 +231,25 @@ func TestPinBalanceCatchesExtractSerialRegression(t *testing.T) {
 	}, PinBalance)
 	if len(fixed) != 0 {
 		t.Fatalf("fixed extractSerial still flagged: %v", fixed)
+	}
+}
+
+func TestHotAllocCatchesPerPageAllocationRegression(t *testing.T) {
+	buggy := analyzeScratch(t, map[string]string{
+		"runtime/executor.go": hotLoopBuggy,
+	}, HotAlloc)
+	if len(buggy) != 2 {
+		t.Fatalf("buggy extraction loop: got %d findings, want 2 (new + make): %v", len(buggy), buggy)
+	}
+	if !strings.Contains(buggy[0].Message, "new in hot path") || !strings.Contains(buggy[1].Message, "make in hot path") {
+		t.Fatalf("unexpected finding messages: %v", buggy)
+	}
+
+	fixed := analyzeScratch(t, map[string]string{
+		"runtime/executor.go": hotLoopFixed,
+	}, HotAlloc)
+	if len(fixed) != 0 {
+		t.Fatalf("reuse-idiom extraction loop still flagged: %v", fixed)
 	}
 }
 

@@ -1,5 +1,7 @@
 package obs
 
+import "fmt"
+
 // Canonical instrument names — the counter taxonomy shared by the
 // instrumented subsystems, the CLIs, and the CI bench gate. Names are
 // dotted `<layer>.<metric>`; layers match package names.
@@ -81,6 +83,14 @@ const (
 	RuntimeTrainWallNs  = "runtime.train_wall_ns"
 	RuntimeTrainRuns    = "runtime.train_runs"
 
+	// Memory channels (internal/runtime): the modeled per-channel
+	// stream split under round-robin page interleaving (page pn streams
+	// on channel pn mod Channels — the same policy internal/cost
+	// charges). ChannelCount records the configured channel count so
+	// consumers know how many channel.<i>.* series exist. Per-channel
+	// names are built by ChannelBytesStreamed / ChannelBusyCycles.
+	ChannelCount = "channel.count"
+
 	// Histograms.
 	HistEpochWallNs = "runtime.epoch_wall_ns.hist"
 	HistBatchTuples = "engine.batch_tuples.hist"
@@ -100,3 +110,17 @@ const (
 	EvEpochTimeout = "epoch.timeout"      // a=epoch index, b=deadline ns
 	EvCPUFallback  = "train.cpu_fallback" // a=epoch degraded at, b=epochs left
 )
+
+// ChannelBytesStreamed is the per-channel payload-byte counter name:
+// the modeled bytes channel ch streamed to the accelerator. Like every
+// instrument, per-channel handles are resolved at setup time only.
+func ChannelBytesStreamed(ch int) string {
+	return fmt.Sprintf("channel.%d.bytes_streamed", ch)
+}
+
+// ChannelBusyCycles is the per-channel busy counter name: the modeled
+// Strider cycles spent unpacking the pages interleaved onto channel ch.
+// Utilization skew across channels is max(busy)/mean(busy).
+func ChannelBusyCycles(ch int) string {
+	return fmt.Sprintf("channel.%d.busy_cycles", ch)
+}

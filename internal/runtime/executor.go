@@ -10,13 +10,21 @@ package runtime
 //	pool Pin -> Strider VM walk + deformat (W workers)  -> engine compute
 //	                (bounded per-worker channels)          (coordinator)
 //
-// Worker w owns Strider VM w and processes pages pn ≡ w (mod W) in
-// increasing order; the coordinator round-robins over the workers'
-// output channels, which restores global page order. All modeled
-// counters (access-engine cycles, engine cycles, simulated seconds) are
-// charged by the coordinator in page order, so they are bit-identical
-// to the serial path no matter how the host schedules the workers —
-// parallelism changes wall-clock time only.
+// Extraction is channel-partitioned (multi-channel memory model): page
+// pn belongs to memory channel pn mod C (the same round-robin
+// interleaving internal/cost charges), each channel owns a flat record
+// arena (one slab per channel, reused across the run), and with W ≥ C
+// workers the workers split into C per-channel Strider groups of W/C
+// workers each. Worker (c, j) owns the pages pn with pn ≡ c (mod C)
+// and (pn/C) ≡ j (mod W/C); the coordinator computes the same mapping
+// to drain the workers' output channels in global page order. With
+// fewer workers than channels the executor falls back to the flat
+// pn mod W round-robin (counters and arenas still split by channel).
+// All modeled counters (access-engine cycles, engine cycles, simulated
+// seconds, per-channel bytes/busy) are charged by the coordinator in
+// page order, so they are bit-identical to the serial path no matter
+// how the host schedules the workers — worker and channel counts
+// change wall-clock time only.
 //
 // A cross-epoch record cache completes the picture: once a relation's
 // pages have been extracted (and the relation fits in the buffer pool,
@@ -35,6 +43,7 @@ import (
 	"time"
 
 	"dana/internal/accessengine"
+	"dana/internal/cost"
 	"dana/internal/engine"
 	"dana/internal/fault"
 	"dana/internal/obs"
@@ -104,10 +113,25 @@ type epochRunner struct {
 	// order cannot change eviction behavior — the precondition for both
 	// out-of-order pinning (parallel workers) and the record cache
 	// (epochs ≥ 2 would be pure pool hits, i.e. no modeled I/O).
-	fits    bool
-	workers int
-	depth   int
-	cacheOK bool
+	fits     bool
+	workers  int
+	channels int
+	depth    int
+	cacheOK  bool
+
+	// Per-channel record arenas (one slab per channel, lazily sized
+	// from the relation's page/tuple counts) and the reusable extraction
+	// buffers hoisted out of the per-epoch hot paths: the serial group
+	// window, its pin list, one shared PageResult per channel for the
+	// recycling path, and the per-channel free rings that circulate
+	// consumed PageResults back to the parallel workers.
+	arenas    []*accessengine.Arena
+	group     []storage.Page
+	pinned    []uint32
+	serialRes []accessengine.PageResult
+	free      []chan *accessengine.PageResult
+	stream    *engine.EpochStream
+	col       *accessengine.Collector
 
 	// Fault handling. healthy lists the usable Strider VM indices:
 	// quarantine removes persistently-trapping VMs, and both extraction
@@ -173,17 +197,77 @@ func (s *System) newEpochRunner(ae *accessengine.Engine, rel *storage.Relation, 
 	for i := range healthy {
 		healthy[i] = i
 	}
-	return &epochRunner{
+	r := &epochRunner{
 		s: s, ae: ae, rel: rel, m: m, batch: batch,
-		fits:    fits,
-		workers: workers,
-		depth:   depth,
-		cacheOK: fits && !s.Opts.NoExtractCache,
+		fits:     fits,
+		workers:  workers,
+		channels: s.channels,
+		depth:    depth,
+		cacheOK:  fits && !s.Opts.NoExtractCache,
 
 		faults:         s.Opts.Faults,
 		healthy:        healthy,
 		maxPageRetries: retries,
+
+		group:     make([]storage.Page, 0, ae.NumStriders),
+		pinned:    make([]uint32, 0, ae.NumStriders),
+		serialRes: make([]accessengine.PageResult, s.channels),
+		stream:    m.StreamEpoch(batch),
+		col:       ae.NewCollector(),
 	}
+	return r
+}
+
+// sizeArenas allocates one record slab per memory channel, sized for
+// the channel's round-robin page share. On the cache-fill path every
+// page takes a fresh extent, so the slab covers the channel's full
+// tuple share; on the recycling path extents are reused across pages
+// (and epochs — the arena is deliberately NOT reset while recycled
+// PageResults still own extents), so a bounded window suffices. An
+// undersized slab is never incorrect: Arena.Alloc falls back to the
+// heap and counts the overflow.
+//
+// Called lazily from extractEpoch, not the runner constructor: a Train
+// whose epochs all replay the record cache never extracts, and must not
+// pay for (or zero) slabs it will never touch.
+func (r *epochRunner) sizeArenas() {
+	pages := r.rel.NumPages()
+	if pages < 1 {
+		return
+	}
+	cols := r.ae.Schema.NumCols()
+	perPage := (r.rel.NumTuples() + pages - 1) / pages // ceil avg tuples/page
+	window := 2 * (r.workers*(r.depth+2)/r.channels + 2)
+	r.arenas = make([]*accessengine.Arena, r.channels)
+	for c := range r.arenas {
+		capPages := cost.ChannelPages(pages, r.channels, c) + 1
+		if !r.cacheOK && capPages > window {
+			capPages = window
+		}
+		r.arenas[c] = accessengine.NewArena(capPages * perPage * cols)
+	}
+}
+
+// channelOf returns the memory channel page pn streams on: round-robin
+// page interleaving, the single policy shared with internal/cost.
+func (r *epochRunner) channelOf(pn int) int { return pn % r.channels }
+
+// arenaOf returns channel's record slab (nil for an empty relation).
+func (r *epochRunner) arenaOf(pn int) *accessengine.Arena {
+	if r.arenas == nil {
+		return nil
+	}
+	return r.arenas[r.channelOf(pn)]
+}
+
+// chargeChannel records one page's modeled stream activity on its
+// memory channel. Called by the coordinator in page order (extraction
+// and replay alike), so the split is deterministic for a given channel
+// count and the totals are invariant across worker/channel configs.
+func (r *epochRunner) chargeChannel(res *accessengine.PageResult) {
+	c := r.channelOf(res.PageNo)
+	r.s.obsChanBytes[c].Add(res.Bytes)
+	r.s.obsChanBusy[c].Add(res.Cycles)
 }
 
 // runEpochRecover is runEpoch plus the quarantine recovery loop: when a
@@ -313,19 +397,31 @@ func (r *epochRunner) runEpoch(epoch int) error {
 }
 
 // replay charges the cached per-page counters (in page order, preserving
-// the group-max cycle model) and feeds the cached records to the engine.
+// the group-max cycle model and the per-channel split) and feeds the
+// cached records to the engine.
 func (r *epochRunner) replay(ent *cacheEntry) error {
-	col := r.ae.NewCollector()
+	col := r.col
+	col.Reset()
 	for i := range ent.pages {
 		col.Add(&ent.pages[i])
+		r.chargeChannel(&ent.pages[i])
 	}
 	col.Flush()
 	return r.m.RunEpoch(ent.rows, r.batch)
 }
 
 func (r *epochRunner) extractEpoch() error {
-	stream := r.m.StreamEpoch(r.batch)
-	col := r.ae.NewCollector()
+	// The stream and collector live on the runner and are reset per
+	// epoch, so steady-state epochs allocate neither. The channel arenas
+	// are sized on the first epoch that really extracts: cache replays
+	// never reach this function, so they never pay for the slabs.
+	if r.arenas == nil {
+		r.sizeArenas()
+	}
+	stream := r.stream
+	stream.Reset()
+	col := r.col
+	col.Reset()
 	var ent *cacheEntry
 	if r.cacheOK {
 		ent = &cacheEntry{
@@ -335,10 +431,22 @@ func (r *epochRunner) extractEpoch() error {
 			pages:   make([]accessengine.PageResult, 0, r.rel.NumPages()),
 		}
 	}
+	if ent != nil {
+		// Fresh-results path: every page takes a fresh arena extent, so
+		// reclaim the slabs first. Safe here — a previous fill's extents
+		// are only referenced by a cache entry this store will replace
+		// (re-extraction implies the old entry already failed validation
+		// or belonged to a failed, discarded epoch).
+		for _, a := range r.arenas {
+			a.Reset()
+		}
+	}
 	// sink consumes extracted pages in page order on the coordinator
-	// goroutine: modeled stats, engine compute, and cache fill.
+	// goroutine: modeled stats (including the per-channel split), engine
+	// compute, and cache fill.
 	sink := func(res *accessengine.PageResult) error {
 		col.Add(res)
+		r.chargeChannel(res)
 		if err := stream.Feed(res.Rows); err != nil {
 			return err
 		}
@@ -380,83 +488,128 @@ func (r *epochRunner) extractEpoch() error {
 
 // extractSerial pins pages in groups of NumStriders (modeling the page
 // buffers, and matching the pre-parallel executor's pool access order
-// exactly) and extracts them one Strider VM at a time.
+// exactly) and extracts them one Strider VM at a time. The group
+// window, pin list, and per-channel shared PageResults live on the
+// runner, so a steady-state epoch allocates nothing here.
 func (r *epochRunner) extractSerial(sink func(*accessengine.PageResult) error, reuse bool) error {
 	n := r.rel.NumPages()
-	group := make([]storage.Page, 0, r.ae.NumStriders)
-	pinned := make([]uint32, 0, r.ae.NumStriders)
-	var shared accessengine.PageResult
-	flush := func() (err error) {
-		// Pins are released even when extraction fails mid-group: a
-		// failed epoch must leave the pool with zero pinned frames.
-		defer func() {
-			for _, pn := range pinned {
-				if uerr := r.s.DB.Pool.Unpin(r.rel.Name, pn); err == nil {
-					err = uerr
-				}
-			}
-			group = group[:0]
-			pinned = pinned[:0]
-		}()
-		for i, pg := range group {
-			if err := r.checkDeadline(); err != nil {
-				return err
-			}
-			res := &accessengine.PageResult{PageNo: int(pinned[i])}
-			if reuse {
-				res = &shared
-				res.PageNo = int(pinned[i])
-			}
-			busyStart := time.Now()
-			err := r.extract(r.healthy[i%len(r.healthy)], pg, res)
-			r.s.obsWorkerBusy.Add(time.Since(busyStart).Nanoseconds())
-			if err != nil {
-				return err
-			}
-			if err := sink(res); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
 	for pn := 0; pn < n; pn++ {
 		pg, err := r.s.DB.Pool.Pin(r.rel.Name, uint32(pn))
 		if err != nil {
 			// Release the partially-accumulated group before surfacing.
-			for _, p := range pinned {
+			for _, p := range r.pinned {
 				_ = r.s.DB.Pool.Unpin(r.rel.Name, p)
 			}
+			r.group, r.pinned = r.group[:0], r.pinned[:0]
 			return err
 		}
-		group = append(group, pg)
-		pinned = append(pinned, uint32(pn))
-		if len(group) == r.ae.NumStriders {
-			if err := flush(); err != nil {
+		r.group = append(r.group, pg)
+		r.pinned = append(r.pinned, uint32(pn))
+		if len(r.group) == r.ae.NumStriders {
+			if err := r.flushSerialGroup(sink, reuse); err != nil {
 				return err
 			}
 		}
 	}
-	return flush()
+	return r.flushSerialGroup(sink, reuse)
 }
 
-// extractParallel fans pages out to w goroutines (worker i owns healthy
-// Strider VM healthy[i] and pages pn ≡ i mod w) and delivers results to
-// the sink in page order by round-robining over the per-worker channels.
-// Channel capacity bounds the number of in-flight page batches.
+// flushSerialGroup extracts the pinned group in page order and hands
+// each result to the sink. Recycled results are shared per memory
+// channel, so a page's record batch always slices out of its own
+// channel's arena.
+//
+//dana:hotpath
+func (r *epochRunner) flushSerialGroup(sink func(*accessengine.PageResult) error, reuse bool) (err error) {
+	// Pins are released even when extraction fails mid-group: a
+	// failed epoch must leave the pool with zero pinned frames.
+	defer func() {
+		for _, pn := range r.pinned {
+			if uerr := r.s.DB.Pool.Unpin(r.rel.Name, pn); err == nil {
+				err = uerr
+			}
+		}
+		r.group = r.group[:0]
+		r.pinned = r.pinned[:0]
+	}()
+	for i, pg := range r.group {
+		if err := r.checkDeadline(); err != nil {
+			return err
+		}
+		pn := int(r.pinned[i])
+		var res *accessengine.PageResult
+		if reuse {
+			res = &r.serialRes[r.channelOf(pn)]
+		} else {
+			//danalint:ignore hotalloc -- fresh results are retained by the record cache
+			res = new(accessengine.PageResult)
+		}
+		res.PageNo = pn
+		res.Arena = r.arenaOf(pn)
+		busyStart := time.Now()
+		err := r.extract(r.healthy[i%len(r.healthy)], pg, res)
+		r.s.obsWorkerBusy.Add(time.Since(busyStart).Nanoseconds())
+		if err != nil {
+			return err
+		}
+		if err := sink(res); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// shardPlan is the channel-partitioned worker layout for one epoch:
+// with w ≥ C workers the C per-channel Strider groups get w/C workers
+// each (shardC = C, shardW = w/C; workers past shardC×shardW idle for
+// the epoch); with w < C the flat pn mod w round-robin applies
+// (shardC = w, shardW = 1). Worker flat index i serves shard channel
+// i/shardW, slot i%shardW, and owns pages pn = c + (j + m·shardW)·shardC.
+type shardPlan struct {
+	shardC, shardW int
+}
+
+func (r *epochRunner) plan(w int) shardPlan {
+	if w >= r.channels {
+		return shardPlan{shardC: r.channels, shardW: w / r.channels}
+	}
+	return shardPlan{shardC: w, shardW: 1}
+}
+
+// workers returns the live worker count of the plan.
+func (p shardPlan) workers() int { return p.shardC * p.shardW }
+
+// workerOf returns the flat worker index owning page pn.
+func (p shardPlan) workerOf(pn int) int {
+	c := pn % p.shardC
+	j := (pn / p.shardC) % p.shardW
+	return c*p.shardW + j
+}
+
+// extractParallel fans pages out over the channel-partitioned worker
+// groups (worker i owns healthy Strider VM healthy[i]) and delivers
+// results to the sink in global page order by walking the same
+// page→worker mapping over the per-worker output channels. Channel
+// capacity bounds the number of in-flight page batches.
 func (r *epochRunner) extractParallel(w int, sink func(*accessengine.PageResult) error, reuse bool) error {
 	n := r.rel.NumPages()
-	outs := make([]chan *accessengine.PageResult, w)
-	errCh := make(chan error, w)
+	plan := r.plan(w)
+	nw := plan.workers()
+	outs := make([]chan *accessengine.PageResult, nw)
+	errCh := make(chan error, nw)
 	done := make(chan struct{})
 	// When results are not retained by the cache, consumed PageResults
-	// circulate back to the workers through a shared free list, bounding
-	// allocation to the number of in-flight pages.
-	var free chan *accessengine.PageResult
-	if reuse {
-		free = make(chan *accessengine.PageResult, w*(r.depth+2))
+	// circulate back to the workers through per-channel free rings,
+	// bounding allocation to the number of in-flight pages and keeping
+	// each record batch inside its own channel's arena.
+	if reuse && r.free == nil {
+		r.free = make([]chan *accessengine.PageResult, r.channels)
+		for c := range r.free {
+			r.free[c] = make(chan *accessengine.PageResult, plan.shardW*(r.depth+2)+2)
+		}
 	}
 	var wg sync.WaitGroup
-	for i := 0; i < w; i++ {
+	for i := 0; i < nw; i++ {
 		outs[i] = make(chan *accessengine.PageResult, r.depth)
 		wg.Add(1)
 		go func(i int) {
@@ -464,39 +617,16 @@ func (r *epochRunner) extractParallel(w int, sink func(*accessengine.PageResult)
 			defer close(outs[i])
 			var busy time.Duration
 			defer func() { r.s.obsWorkerBusy.Add(busy.Nanoseconds()) }()
-			for pn := i; pn < n; pn += w {
-				if err := r.checkDeadline(); err != nil {
-					errCh <- err
-					return
-				}
-				pg, err := r.s.DB.Pool.Pin(r.rel.Name, uint32(pn))
+			c, j := i/plan.shardW, i%plan.shardW
+			start := c + j*plan.shardC
+			stride := plan.shardW * plan.shardC
+			for pn := start; pn < n; pn += stride {
+				res, err := r.extractShard(i, pn, reuse)
 				if err != nil {
 					errCh <- err
 					return
 				}
-				var res *accessengine.PageResult
-				if reuse {
-					select {
-					case res = <-free:
-					default:
-						res = new(accessengine.PageResult)
-					}
-				} else {
-					res = new(accessengine.PageResult)
-				}
-				res.PageNo = pn
-				busyStart := time.Now()
-				err = r.extract(r.healthy[i], pg, res)
-				busy += time.Since(busyStart)
-				// The arena holds copies of the tuple values, so the frame
-				// can be released before the engine consumes the batch.
-				if uerr := r.s.DB.Pool.Unpin(r.rel.Name, uint32(pn)); err == nil {
-					err = uerr
-				}
-				if err != nil {
-					errCh <- err
-					return
-				}
+				busy += time.Duration(res.WalkNs)
 				select {
 				case outs[i] <- res:
 				case <-done:
@@ -510,7 +640,7 @@ func (r *epochRunner) extractParallel(w int, sink func(*accessengine.PageResult)
 		if err = r.checkDeadline(); err != nil {
 			break
 		}
-		res, ok := <-outs[pn%w]
+		res, ok := <-outs[plan.workerOf(pn)]
 		if !ok {
 			err = <-errCh
 			break
@@ -518,7 +648,7 @@ func (r *epochRunner) extractParallel(w int, sink func(*accessengine.PageResult)
 		err = sink(res)
 		if reuse && err == nil {
 			select {
-			case free <- res:
+			case r.free[r.channelOf(pn)] <- res:
 			default:
 			}
 		}
@@ -534,4 +664,46 @@ func (r *epochRunner) extractParallel(w int, sink func(*accessengine.PageResult)
 	default:
 		return nil
 	}
+}
+
+// extractShard pins, walks, and unpins one page on worker i — the
+// per-page body of the parallel extraction loop. Recycled results come
+// from the page's channel free ring; fresh extents come from the
+// channel arena.
+//
+//dana:hotpath
+func (r *epochRunner) extractShard(i, pn int, reuse bool) (*accessengine.PageResult, error) {
+	if err := r.checkDeadline(); err != nil {
+		return nil, err
+	}
+	pg, err := r.s.DB.Pool.Pin(r.rel.Name, uint32(pn))
+	if err != nil {
+		return nil, err
+	}
+	var res *accessengine.PageResult
+	if reuse {
+		select {
+		case res = <-r.free[r.channelOf(pn)]:
+		default:
+			//danalint:ignore hotalloc -- ring warm-up; recycled afterwards
+			res = new(accessengine.PageResult)
+		}
+	} else {
+		//danalint:ignore hotalloc -- fresh results are retained by the record cache
+		res = new(accessengine.PageResult)
+	}
+	res.PageNo = pn
+	res.Arena = r.arenaOf(pn)
+	busyStart := time.Now()
+	err = r.extract(r.healthy[i], pg, res)
+	res.WalkNs = time.Since(busyStart).Nanoseconds()
+	// The arena holds copies of the tuple values, so the frame can be
+	// released before the engine consumes the batch.
+	if uerr := r.s.DB.Pool.Unpin(r.rel.Name, uint32(pn)); err == nil {
+		err = uerr
+	}
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
 }

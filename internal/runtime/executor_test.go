@@ -5,8 +5,11 @@ import (
 	hostrt "runtime"
 	"testing"
 
+	"dana/internal/accessengine"
+	"dana/internal/engine"
 	"dana/internal/fault"
 	"dana/internal/storage"
+	"dana/internal/strider"
 )
 
 // trainConfigured runs one full Train of a workload under the given
@@ -258,5 +261,145 @@ func TestWorkerSweepBitIdentity(t *testing.T) {
 				t.Errorf("workers=%d/%s: simulated %v != serial %v", workers, name, got.SimulatedSeconds, serial.SimulatedSeconds)
 			}
 		}
+	}
+}
+
+// TestChannelSweepBitIdentity extends the worker sweep along the
+// memory-channel axis: the full {workers} × {channels} grid — cache on
+// and off, and with the PR 4 zero-rate fault schedule attached — must
+// produce bit-identical models, identical modeled cycle stats, and
+// identical simulated seconds to the serial single-channel uncached
+// baseline. Channel partitioning (like worker parallelism) may change
+// host wall-clock only; the per-channel obs split re-partitions the
+// same totals.
+func TestChannelSweepBitIdentity(t *testing.T) {
+	defer hostrt.GOMAXPROCS(hostrt.GOMAXPROCS(4))
+	const (
+		workload  = "Remote Sensing LR"
+		scale     = 0.002
+		mergeCoef = 16
+		epochs    = 3
+	)
+	serial := trainConfigured(t, workload, scale, mergeCoef, epochs, 1, true)
+	zeroFaults := func(o *Options) { o.Faults = fault.New(fault.Config{Seed: 7}) }
+	for _, workers := range []int{1, 2, 4, 8} {
+		for _, channels := range []int{1, 2, 4} {
+			for _, cfg := range []struct {
+				noCache bool
+				faulted bool
+			}{{false, false}, {true, false}, {true, true}} {
+				name := "cache"
+				if cfg.noCache {
+					name = "nocache"
+				}
+				mods := []func(*Options){func(o *Options) { o.Channels = channels }}
+				if cfg.faulted {
+					name += "+zerofaults"
+					mods = append(mods, zeroFaults)
+				}
+				got := trainConfigured(t, workload, scale, mergeCoef, epochs, workers, cfg.noCache, mods...)
+				if got.Epochs != serial.Epochs {
+					t.Errorf("w=%d/c=%d/%s: epochs %d != serial %d", workers, channels, name, got.Epochs, serial.Epochs)
+				}
+				if len(got.Model) != len(serial.Model) {
+					t.Fatalf("w=%d/c=%d/%s: model size %d != %d", workers, channels, name, len(got.Model), len(serial.Model))
+				}
+				for i := range got.Model {
+					if math.Float32bits(got.Model[i]) != math.Float32bits(serial.Model[i]) {
+						t.Fatalf("w=%d/c=%d/%s: model[%d] = %v != serial %v (not bit-identical)",
+							workers, channels, name, i, got.Model[i], serial.Model[i])
+					}
+				}
+				if got.Engine != serial.Engine {
+					t.Errorf("w=%d/c=%d/%s: engine stats %+v != serial %+v", workers, channels, name, got.Engine, serial.Engine)
+				}
+				if got.Access != serial.Access {
+					t.Errorf("w=%d/c=%d/%s: access stats %+v != serial %+v", workers, channels, name, got.Access, serial.Access)
+				}
+				if got.SimulatedSeconds != serial.SimulatedSeconds {
+					t.Errorf("w=%d/c=%d/%s: simulated %v != serial %v", workers, channels, name, got.SimulatedSeconds, serial.SimulatedSeconds)
+				}
+			}
+		}
+	}
+}
+
+// newBenchRunner assembles an epochRunner the way Train does (access
+// engine, machine, runner) so the allocation guard can drive epochs
+// directly. The caller must Close the returned machine.
+func newBenchRunner(t *testing.T, workers, channels int, noCache bool) (*epochRunner, *engine.Machine) {
+	t.Helper()
+	opts := DefaultOptions()
+	opts.PageSize = storage.PageSize8K
+	opts.PoolBytes = 64 << 20
+	opts.Workers = workers
+	opts.Channels = channels
+	opts.NoExtractCache = noCache
+	opts.DisableObs = true
+	s := New(opts)
+	d := deployScaled(t, s, "Remote Sensing LR", 0.01)
+	a, err := d.DSLAlgo(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := s.Register(a, 16, d.Tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns := acc.Design.NumStriders
+	if ns < 1 {
+		ns = 1
+	}
+	if ns > 16 {
+		ns = 16
+	}
+	ae, err := accessengine.New(strider.PostgresLayout(opts.PageSize), d.Rel.Schema, ns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ae.SetObs(s.obs)
+	m, err := engine.NewMachine(acc.Program, acc.Design.Engine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetObs(s.obs)
+	return s.newEpochRunner(ae, d.Rel, m, 16), m
+}
+
+// TestHotPathsAllocationFree is the runtime counterpart of the hotalloc
+// analyzer: after warm-up (arenas sized, buffers grown, pool hot), a
+// steady-state epoch must allocate O(1) — never per page or per tuple.
+// The relation here spans dozens of pages and thousands of tuples, so
+// any per-page regression blows through the bounds by an order of
+// magnitude.
+func TestHotPathsAllocationFree(t *testing.T) {
+	measure := func(workers, channels int) float64 {
+		r, m := newBenchRunner(t, workers, channels, true)
+		defer m.Close()
+		for e := 0; e < 2; e++ {
+			if err := r.runEpoch(e); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return testing.AllocsPerRun(3, func() {
+			if err := r.runEpoch(2); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	pages := 0
+	{
+		r, m := newBenchRunner(t, 1, 1, true)
+		pages = r.rel.NumPages()
+		m.Close()
+	}
+	if serial := measure(1, 1); serial > 16 {
+		t.Errorf("serial recycling epoch allocates %.0f times (%d pages); hot path regressed", serial, pages)
+	}
+	// The parallel path pays a fixed per-epoch fan-out cost (output
+	// channels, worker goroutines) that scales with workers, never with
+	// pages or tuples.
+	if par := measure(4, 2); par > 128 {
+		t.Errorf("parallel epoch allocates %.0f times (%d pages); fan-out should be O(workers)", par, pages)
 	}
 }

@@ -45,6 +45,18 @@ type Options struct {
 	// 1 = serial). Parallelism affects wall-clock time only: modeled
 	// cycle counts are charged in page order and stay bit-identical.
 	Workers int
+	// Channels models the accelerator link as N independent memory
+	// channels (0/1 = the single legacy link, capped at MaxChannels).
+	// Pages interleave round-robin — page pn streams on channel pn mod
+	// N, the policy internal/cost charges — and the executor shards its
+	// extraction workers into per-channel Strider groups along the same
+	// boundaries, each channel backed by its own record arena. Like
+	// Workers, the channel count changes host wall-clock only: modeled
+	// cycles, simulated seconds, and trained models are bit-identical
+	// for any value (the per-channel obs counters split by channel, but
+	// their totals are invariant). The *modeled* transfer time follows
+	// Cost.Link, which is configured independently.
+	Channels int
 	// PipelineDepth bounds the extracted-but-unconsumed page batches per
 	// worker (0 = default), bounding memory for large tables.
 	PipelineDepth int
@@ -103,12 +115,18 @@ func DefaultOptions() Options {
 	}
 }
 
+// MaxChannels caps Options.Channels (per-channel instruments are
+// resolved eagerly at New, so the series count must be bounded).
+const MaxChannels = 32
+
 // System is a DAnA-enhanced database instance.
 type System struct {
 	Opts Options
 	DB   *sql.DB
 
 	cache recordCache // cross-epoch extracted-record cache
+
+	channels int // effective channel count (Opts.Channels clamped)
 
 	obs *obs.Registry // observability registry (obs.Noop when disabled)
 	// Cached runtime-layer instrument handles (nil-safe no-ops when dark).
@@ -131,6 +149,11 @@ type System struct {
 	obsVerifyRuns     *obs.Counter
 	obsVerifyWarnings *obs.Counter
 	obsVerifyRejects  *obs.Counter
+	// Per-channel stream instruments (one handle per modeled channel,
+	// resolved at New like every other instrument; charged by the
+	// coordinator in page order alongside the Collector).
+	obsChanBytes []*obs.Counter
+	obsChanBusy  []*obs.Counter
 }
 
 // New creates the system and installs it as the SQL executor's UDF
@@ -169,6 +192,20 @@ func New(opts Options) *System {
 	s.obsVerifyRuns = reg.Counter(obs.StriderVerifyRuns)
 	s.obsVerifyWarnings = reg.Counter(obs.StriderVerifyWarnings)
 	s.obsVerifyRejects = reg.Counter(obs.StriderVerifyRejects)
+	s.channels = opts.Channels
+	if s.channels < 1 {
+		s.channels = 1
+	}
+	if s.channels > MaxChannels {
+		s.channels = MaxChannels
+	}
+	s.obsChanBytes = make([]*obs.Counter, s.channels)
+	s.obsChanBusy = make([]*obs.Counter, s.channels)
+	for i := range s.obsChanBytes {
+		s.obsChanBytes[i] = reg.Counter(obs.ChannelBytesStreamed(i))
+		s.obsChanBusy[i] = reg.Counter(obs.ChannelBusyCycles(i))
+	}
+	reg.Counter(obs.ChannelCount).Add(int64(s.channels))
 	s.DB.Pool.MaxReadRetries = opts.MaxReadRetries
 	s.DB.Pool.VerifyChecksums = opts.VerifyChecksums
 	if opts.Faults != nil {
@@ -418,12 +455,20 @@ func (s *System) Train(udfName, table string) (*TrainResult, error) {
 	res.Engine = machine.Stats()
 	res.Access = ae.Stats()
 	res.Pool = s.DB.Pool.Stats()
-	// Pipeline time: engine and striders overlap; PCIe transfer too.
+	// Pipeline time: engine and striders overlap; link transfer too.
+	// Transfer is charged through the channel model (max-over-channels
+	// of the round-robin page shares); the run's page stream — cached
+	// replays included — is one interleaved sequence. The zero-value
+	// Cost.Link reproduces the legacy scalar PCIe×scale charge exactly.
 	clock := s.Opts.FPGA.ClockHz
 	engineSec := float64(res.Engine.Cycles) / clock
 	striderSec := float64(res.Access.Cycles) / clock
-	transferSec := float64(res.Access.Pages) * float64(s.Opts.PageSize) /
-		(s.Opts.Cost.PCIeBytesPerSec * nz(s.Opts.Cost.BandwidthScale))
+	cp := s.Opts.Cost
+	cp.BandwidthScale = nz(cp.BandwidthScale)
+	transferSec := cost.TransferSec(cost.Workload{
+		DatasetBytes: res.Access.Pages * int64(s.Opts.PageSize),
+		Pages:        int(res.Access.Pages),
+	}, cp)
 	pipe := engineSec
 	if striderSec > pipe {
 		pipe = striderSec

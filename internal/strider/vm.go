@@ -17,13 +17,15 @@ type VM struct {
 	// MaxSteps bounds execution to catch runaway loops (0 = default).
 	MaxSteps int
 
-	t      [NumTempRegs]uint64
-	cr     [NumConfigRegs]uint64
-	page   []byte
-	out    []byte
-	cycles int64
-	steps  int64 // instructions retired
-	writes int   // count of writeB-modified bytes
+	t       [NumTempRegs]uint64
+	cr      [NumConfigRegs]uint64
+	page    []byte
+	out     []byte
+	reserve int   // Reserve hint, applied at next Run
+	loops   []int // bentr return stack, reused across Runs
+	cycles  int64
+	steps   int64 // instructions retired
+	writes  int   // count of writeB-modified bytes
 }
 
 // Default step bound: generous for a 32 KB page walk.
@@ -42,6 +44,14 @@ func NewVM(prog []Instr, cfg Config) *VM {
 // Out returns the emitted output bytes of the last Run.
 func (vm *VM) Out() []byte { return vm.out }
 
+// Reserve records an output-buffer capacity hint honored by the next
+// Run: a page walk emits at most the page's own payload bytes, so
+// reserving the page size removes the append-doubling churn from the
+// first walks of every fresh VM (one VM set is built per Train call).
+// The buffer is allocated lazily on first use — a VM that never runs
+// (e.g. every epoch replays the record cache) costs nothing.
+func (vm *VM) Reserve(outBytes int) { vm.reserve = outBytes }
+
 // Cycles returns the cycle count of the last Run.
 func (vm *VM) Cycles() int64 { return vm.cycles }
 
@@ -56,6 +66,9 @@ func (vm *VM) BytesWritten() int { return vm.writes }
 // internal buffer (retrievable via Out).
 func (vm *VM) Run(page []byte) error {
 	vm.page = page
+	if cap(vm.out) < vm.reserve {
+		vm.out = make([]byte, 0, vm.reserve)
+	}
 	vm.out = vm.out[:0]
 	vm.cycles = 0
 	vm.steps = 0
@@ -67,7 +80,7 @@ func (vm *VM) Run(page []byte) error {
 	if maxSteps <= 0 {
 		maxSteps = defaultMaxSteps
 	}
-	var loopStack []int
+	loopStack := vm.loops[:0]
 	pc := 0
 	for steps := 0; pc < len(vm.Prog); steps++ {
 		if steps >= maxSteps {
@@ -182,6 +195,7 @@ func (vm *VM) Run(page []byte) error {
 		}
 		pc++
 	}
+	vm.loops = loopStack
 	return nil
 }
 
