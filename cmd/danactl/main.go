@@ -6,6 +6,9 @@
 //	danactl -workload "Remote Sensing LR" -scale 0.01 -merge 64 -epochs 3
 //	danactl -sql "SELECT COUNT(*) FROM remote_sensing_lr" -workload "Remote Sensing LR" -scale 0.01
 //	danactl -udf my_udf.dsl -workload Patient -scale 0.01   # custom DSL file
+//	danactl -backend auto    # let the dispatcher pick the cheapest backend
+//	                         # ("" = accelerator; or an explicit
+//	                         # accelerator|tabla|cpu|sharded override)
 //
 // Subcommands (same flags apply after the subcommand):
 //
@@ -15,6 +18,8 @@
 //	                         # compute/access utilization, Fig 10 style
 //	danactl stats -channels 4  # adds the per-channel stream split:
 //	                         # bytes, busy cycles, utilization skew
+//	danactl stats -backend auto  # adds the dispatcher's per-backend cost
+//	                         # table and marks the backend that served
 //	danactl stats -json      # machine-readable obs snapshot instead
 //	danactl trace            # train, then dump the trace-event ring
 package main
@@ -44,6 +49,8 @@ func main() {
 		epochs   = flag.Int("epochs", 3, "training epochs")
 		pageKB   = flag.Int("page", 32, "page size in KB (8, 16, 32)")
 		channels = flag.Int("channels", 1, "modeled memory channels (1-32); partitions extraction and scales link bandwidth")
+		be       = flag.String("backend", "", `execution backend: "" = accelerator (paper path), "auto" = cheapest by modeled cost, or accelerator|tabla|cpu|sharded`)
+		segments = flag.Int("segments", 0, "sharded backend's segment fan-out (0 = Greenplum baseline's 8)")
 		seed     = flag.Int64("seed", 1, "dataset generator seed")
 		udfFile  = flag.String("udf", "", "optional DSL source file overriding the built-in UDF")
 		sqlStmt  = flag.String("sql", "", "optional SQL to run instead of training")
@@ -52,7 +59,10 @@ func main() {
 	)
 	check(flag.CommandLine.Parse(args))
 
-	eng, err := dana.Open(dana.Config{PageSize: *pageKB << 10, PoolBytes: 256 << 20, Channels: *channels})
+	eng, err := dana.Open(dana.Config{
+		PageSize: *pageKB << 10, PoolBytes: 256 << 20, Channels: *channels,
+		Backend: *be, Segments: *segments,
+	})
 	check(err)
 
 	ds, err := eng.LoadWorkload(*workload, *scale, *seed)
@@ -95,7 +105,7 @@ func main() {
 			fmt.Println(string(data))
 			return
 		}
-		printStats(eng, res)
+		printStats(eng, res, algo.Name, ds.Rel.Name)
 		return
 	case "trace":
 		printTrace(eng.Obs())
@@ -103,7 +113,11 @@ func main() {
 	}
 
 	fmt.Printf("\naccelerator design: %s\n", res.Design)
-	fmt.Printf("trained %q for %d epochs over %d tuples\n", algo.Name, res.Epochs, res.Engine.Tuples)
+	fmt.Printf("trained %q for %d epochs over %d tuples on backend %q\n",
+		algo.Name, res.Epochs, res.Engine.Tuples, res.Backend)
+	if res.Degraded {
+		fmt.Printf("degraded at epoch %d, completed on backend %q\n", res.DegradedAtEpoch, res.FailoverBackend)
+	}
 	fmt.Printf("engine:  %d cycles (%d compute, %d merge, %d load), %d instructions\n",
 		res.Engine.Cycles, res.Engine.ComputeCycles, res.Engine.MergeCycles,
 		res.Engine.LoadCycles, res.Engine.Instructions)
@@ -151,7 +165,7 @@ func main() {
 // compute- and access-engine utilization of the generated design. The
 // per-component engine cycles must sum exactly to the modeled total —
 // danactl exits non-zero if the identity is violated.
-func printStats(eng *dana.Engine, res *runtime.TrainResult) {
+func printStats(eng *dana.Engine, res *runtime.TrainResult, udfName, table string) {
 	r := eng.Obs()
 	pct := func(part, whole int64) float64 {
 		if whole == 0 {
@@ -241,8 +255,28 @@ func printStats(eng *dana.Engine, res *runtime.TrainResult) {
 	}
 	fmt.Printf("  %-22s %11.3f ms in Strider VMs (%.0f%% of train wall across workers)\n",
 		"worker busy", float64(busyNs)/1e6, occ)
+	fmt.Printf("=== backend dispatch ===\n")
+	costs, err := eng.BackendCosts(udfName, table)
+	check(err)
+	for _, bc := range costs {
+		marker := " "
+		if bc.Name == res.Backend {
+			marker = "*"
+		}
+		if bc.Err != "" {
+			fmt.Printf("  %s %-20s rejected: %s\n", marker, bc.Name, bc.Err)
+		} else {
+			fmt.Printf("  %s %-20s %14.4f s modeled epoch+transfer cost\n", marker, bc.Name, bc.Seconds)
+		}
+	}
+	fmt.Printf("    (* = served this run; -backend auto picks the cheapest admissible)\n")
+	if res.Degraded {
+		fmt.Printf("  %-22s epoch %d -> %q (generic backend failover)\n",
+			"degraded at", res.DegradedAtEpoch, res.FailoverBackend)
+	}
+
 	fmt.Printf("=== modeled result ===\n")
-	fmt.Printf("  %-22s %14.4f s simulated end-to-end\n", "accelerator", res.SimulatedSeconds)
+	fmt.Printf("  %-22s %14.4f s simulated end-to-end\n", res.Backend, res.SimulatedSeconds)
 }
 
 // printTrace dumps the bounded trace-event ring, timestamps relative to

@@ -8,6 +8,7 @@
 //	obsguard     obs call sites stay zero-alloc and lookup-free under obs.Noop
 //	hotalloc     no heap allocation in //dana:hotpath extraction/merge functions
 //	faulterrors  typed fault sentinels survive wrapping (%w, not %v)
+//	backendreg   every backend.Backend impl is registered with non-empty Capabilities
 //	shadow       no same-typed shadowing of a variable still used afterwards
 //	nilcheck     no dereference of a variable proven nil
 //

@@ -41,6 +41,17 @@ type Config struct {
 	PoolBytes int64
 	// MaxEpochs caps functional training (0 = the UDF's own budget).
 	MaxEpochs int
+	// Backend selects the execution backend for Train: "" pins the DAnA
+	// accelerator pipeline (the paper path and historical default),
+	// "auto" lets the heterogeneous dispatcher pick the cheapest capable
+	// backend by modeled cost, and a registered name ("accelerator",
+	// "tabla", "cpu", "sharded") is an explicit override. Unknown names
+	// fail typed with backend.ErrUnknownBackend at Train time.
+	Backend string
+	// Segments is the sharded backend's segment fan-out (0 = the
+	// Greenplum baseline's 8 segments). Only the "sharded" backend
+	// reads it.
+	Segments int
 	// Workers sets the host goroutines running Strider VMs during page
 	// extraction (0 = GOMAXPROCS capped at the Strider count; 1 =
 	// serial). Host parallelism changes wall-clock time only — modeled
@@ -117,6 +128,8 @@ func Open(cfg Config) (*Engine, error) {
 	opts.PageSize = cfg.PageSize
 	opts.PoolBytes = cfg.PoolBytes
 	opts.MaxEpochs = cfg.MaxEpochs
+	opts.Backend = cfg.Backend
+	opts.Segments = cfg.Segments
 	opts.Workers = cfg.Workers
 	opts.Channels = cfg.Channels
 	opts.Cost.Link.Channels = cfg.Channels
@@ -171,6 +184,18 @@ func (e *Engine) RegisterUDFSource(src string, mergeCoef int) (*Algo, error) {
 // Train runs the DAnA pipeline for a registered UDF over a table.
 func (e *Engine) Train(udfName, table string) (*runtime.TrainResult, error) {
 	return e.sys.Train(udfName, table)
+}
+
+// BackendCost re-exports one dispatch candidate's modeled price for a
+// job (see Config.Backend).
+type BackendCost = runtime.BackendCost
+
+// BackendCosts prices a registered (UDF, table) job on every registered
+// execution backend — the heterogeneous dispatcher's view before it
+// picks. Rejected backends carry their typed admissibility error.
+// `danactl stats -backend auto` renders this table.
+func (e *Engine) BackendCosts(udfName, table string) ([]BackendCost, error) {
+	return e.sys.EstimateBackends(udfName, table)
 }
 
 // Catalog exposes the system catalog.

@@ -1,0 +1,113 @@
+package backend_test
+
+// The backend conformance suite: every registered backend — the DAnA
+// accelerator, the TABLA design point, the golden CPU trainer, and the
+// greenplum Sharded wrapper — runs through the seeded scenario
+// generator and is held to the trichotomy its Capabilities declare
+// (bit-identical where promised, toleranced elsewhere, typed errors for
+// unsupported jobs). The mutation meta-tests in meta_test.go prove each
+// check can fail.
+
+import (
+	"errors"
+	"testing"
+
+	"dana/internal/backend"
+	"dana/internal/greenplum"
+)
+
+// conformanceSeeds covers all four workload classes (linear, logistic,
+// svm, lrmf) and merge coefficients 1/4/8 — see GenScenario.
+var conformanceSeeds = []int64{1, 2, 3, 4, 5, 9, 10, 13, 15, 16}
+
+// allRegistrations is the full dispatch registry the runtime assembles:
+// the package builtins plus greenplum's Sharded.
+func allRegistrations() []backend.Registration {
+	return append(backend.Builtins(), greenplum.ShardedRegistration())
+}
+
+func TestBackendConformance(t *testing.T) {
+	env := backend.ConformanceEnv()
+	for _, reg := range allRegistrations() {
+		reg := reg
+		t.Run(reg.Name, func(t *testing.T) {
+			trained := 0
+			for _, seed := range conformanceSeeds {
+				sc := backend.GenScenario(seed)
+				if vs := backend.Check(reg, env, sc); len(vs) > 0 {
+					for _, v := range vs {
+						t.Errorf("seed %d (%s): %s", seed, sc.Spec.Kind, v)
+					}
+					continue
+				}
+				be := reg.New(env)
+				if be.Capabilities().Supports(backend.Class(string(sc.Spec.Kind))) {
+					trained++
+				}
+			}
+			if trained == 0 {
+				t.Fatalf("backend %q trained no conformance scenario (all skipped as unsupported)", reg.Name)
+			}
+		})
+	}
+}
+
+// TestConformanceClassCoverage pins the seed set to keep covering every
+// workload class: a generator change that silently drops a class from
+// the suite should fail here, not go unnoticed.
+func TestConformanceClassCoverage(t *testing.T) {
+	seen := map[backend.Class]bool{}
+	for _, seed := range conformanceSeeds {
+		sc := backend.GenScenario(seed)
+		p, err := backend.BuildProgram(sc, backend.ConformanceEnv())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		seen[backend.Classify(p.Graph)] = true
+	}
+	for _, class := range backend.AllClasses() {
+		if !seen[class] {
+			t.Errorf("conformance seeds cover no %s scenario", class)
+		}
+	}
+}
+
+// TestScenarioDeterminism: same seed, same scenario — the property that
+// makes every conformance failure reproducible from its seed.
+func TestScenarioDeterminism(t *testing.T) {
+	a, b := backend.GenScenario(7), backend.GenScenario(7)
+	if a.Spec != b.Spec || len(a.Tuples) != len(b.Tuples) {
+		t.Fatalf("seed 7 scenarios differ: %+v vs %+v", a.Spec, b.Spec)
+	}
+	for i := range a.Tuples {
+		for j := range a.Tuples[i] {
+			if a.Tuples[i][j] != b.Tuples[i][j] {
+				t.Fatalf("seed 7 tuple [%d][%d] differs", i, j)
+			}
+		}
+	}
+}
+
+// TestShardedRejectsLRMF pins the typed-error leg for a backend with a
+// genuinely restricted class set: model averaging over factor models is
+// out of capability, and both EstimateCost and Configure must say so
+// with ErrUnsupported.
+func TestShardedRejectsLRMF(t *testing.T) {
+	env := backend.ConformanceEnv()
+	sc := backend.GenScenario(15) // lrmf
+	p, err := backend.BuildProgram(sc, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := backend.JobFor(sc, p)
+	if job.Class != backend.ClassLRMF {
+		t.Fatalf("seed 15 classified as %s, want lrmf", job.Class)
+	}
+	be := greenplum.NewSharded(env)
+	if _, err := be.EstimateCost(job); !errors.Is(err, backend.ErrUnsupported) {
+		t.Errorf("EstimateCost(lrmf) = %v, want ErrUnsupported", err)
+	}
+	if err := be.Configure(p); !errors.Is(err, backend.ErrUnsupported) {
+		t.Errorf("Configure(lrmf) = %v, want ErrUnsupported", err)
+	}
+}

@@ -1,0 +1,185 @@
+package backend_test
+
+// Mutation meta-tests for the conformance harness: each test plants one
+// deliberate defect behind a delegating wrapper and asserts that the
+// one conformance check built to catch it — and no other — fires. A
+// harness whose checks cannot fail proves nothing.
+
+import (
+	"errors"
+	"testing"
+
+	"dana/internal/backend"
+	"dana/internal/engine"
+)
+
+// wrapper delegates to a real backend; each hook injects one defect.
+type wrapper struct {
+	inner backend.Backend
+
+	capsHook  func(backend.Capabilities) backend.Capabilities
+	costHook  func(backend.Cost, error) (backend.Cost, error)
+	runHook   func(err error) error
+	modelHook func([]float64) []float64
+	scoreHook func([]float64)
+
+	countersDelta int64
+}
+
+func (w *wrapper) Capabilities() backend.Capabilities {
+	c := w.inner.Capabilities()
+	if w.capsHook != nil {
+		c = w.capsHook(c)
+	}
+	return c
+}
+
+func (w *wrapper) EstimateCost(job backend.Job) (backend.Cost, error) {
+	c, err := w.inner.EstimateCost(job)
+	if w.costHook != nil {
+		return w.costHook(c, err)
+	}
+	return c, err
+}
+
+func (w *wrapper) Configure(p backend.Program) error { return w.inner.Configure(p) }
+
+func (w *wrapper) RunEpoch(st *backend.Stream) error {
+	err := w.inner.RunEpoch(st)
+	if w.runHook != nil {
+		return w.runHook(err)
+	}
+	return err
+}
+
+func (w *wrapper) Score(model []float64, rows [][]float64) ([]float64, error) {
+	preds, err := w.inner.Score(model, rows)
+	if err == nil && w.scoreHook != nil {
+		w.scoreHook(preds)
+	}
+	return preds, err
+}
+
+func (w *wrapper) Model() []float64 {
+	m := w.inner.Model()
+	if w.modelHook != nil {
+		m = w.modelHook(m)
+	}
+	return m
+}
+
+func (w *wrapper) SetModel(m []float64) error { return w.inner.SetModel(m) }
+
+func (w *wrapper) Counters() engine.Stats {
+	var st engine.Stats
+	if cb, ok := w.inner.(backend.CounterBackend); ok {
+		st = cb.Counters()
+	}
+	st.Cycles += w.countersDelta
+	return st
+}
+
+// metaScenario is the fixed scenario the mutants run on: seed 3 is a
+// small linear job every backend supports.
+func metaScenario() backend.Scenario { return backend.GenScenario(3) }
+
+// runMutant asserts the mutated registration fails conformance with the
+// expected check — and only that check.
+func runMutant(t *testing.T, reg backend.Registration, wantCheck string) {
+	t.Helper()
+	vs := backend.Check(reg, backend.ConformanceEnv(), metaScenario())
+	if len(vs) == 0 {
+		t.Fatalf("mutant passed conformance: check %q cannot fail", wantCheck)
+	}
+	for _, v := range vs {
+		if v.Check != wantCheck {
+			t.Errorf("mutant tripped %s, want only %s", v, wantCheck)
+		}
+	}
+}
+
+// cpuMutant wraps the golden CPU backend with one hook set.
+func cpuMutant(mutate func(*wrapper)) backend.Registration {
+	return backend.Registration{
+		Name: backend.NameCPU,
+		New: func(env backend.Env) backend.Backend {
+			w := &wrapper{inner: backend.NewCPU(env)}
+			mutate(w)
+			return w
+		},
+	}
+}
+
+// TestMetaWrapperTransparent proves the delegating wrapper itself is
+// conformant, so mutant failures are attributable to the planted defect.
+func TestMetaWrapperTransparent(t *testing.T) {
+	reg := cpuMutant(func(w *wrapper) {})
+	if vs := backend.Check(reg, backend.ConformanceEnv(), metaScenario()); len(vs) > 0 {
+		t.Fatalf("transparent wrapper fails conformance: %v", vs)
+	}
+}
+
+func TestMetaCapabilitiesCheckFires(t *testing.T) {
+	runMutant(t, cpuMutant(func(w *wrapper) {
+		w.capsHook = func(c backend.Capabilities) backend.Capabilities {
+			c.Name = "impostor" // lies about its identity
+			return c
+		}
+	}), backend.CheckCapabilities)
+}
+
+func TestMetaUnsupportedCheckFires(t *testing.T) {
+	runMutant(t, cpuMutant(func(w *wrapper) {
+		w.costHook = func(c backend.Cost, err error) (backend.Cost, error) {
+			if errors.Is(err, backend.ErrUnsupported) {
+				return c, errors.New("backend busy") // untyped rejection
+			}
+			return c, err
+		}
+	}), backend.CheckUnsupported)
+}
+
+func TestMetaNotConfiguredCheckFires(t *testing.T) {
+	runMutant(t, cpuMutant(func(w *wrapper) {
+		w.runHook = func(err error) error {
+			if errors.Is(err, backend.ErrNotConfigured) {
+				return nil // silently accepts pre-Configure use
+			}
+			return err
+		}
+	}), backend.CheckNotConfigured)
+}
+
+func TestMetaTrainCheckFires(t *testing.T) {
+	runMutant(t, cpuMutant(func(w *wrapper) {
+		w.modelHook = func(m []float64) []float64 {
+			mm := append([]float64(nil), m...)
+			mm[0] += 1 // trains to the wrong model
+			return mm
+		}
+	}), backend.CheckTrain)
+}
+
+func TestMetaScoreCheckFires(t *testing.T) {
+	runMutant(t, cpuMutant(func(w *wrapper) {
+		w.scoreHook = func(preds []float64) {
+			preds[0] += 1 // mispredicts
+		}
+	}), backend.CheckScore)
+}
+
+// TestMetaDeterminismCheckFires wraps the accelerator (the backend that
+// promises DeterministicCounters) so each instance reports counters
+// offset by its creation order: bit-identity across delivery forms must
+// catch the divergence.
+func TestMetaDeterminismCheckFires(t *testing.T) {
+	instances := int64(0)
+	reg := backend.Registration{
+		Name: backend.NameAccelerator,
+		New: func(env backend.Env) backend.Backend {
+			instances++
+			return &wrapper{inner: backend.NewAccel(env), countersDelta: instances}
+		},
+	}
+	runMutant(t, reg, backend.CheckDeterminism)
+}

@@ -1,0 +1,111 @@
+package backend
+
+import (
+	"fmt"
+	"math"
+
+	"dana/internal/hdfg"
+)
+
+// Inference over an explicit model, shared by the backends. Each class
+// has one scoring rule — dot product (linear), sigmoid probability
+// (logistic), raw margin (SVM), factor-row dot product (LRMF) — and
+// each backend evaluates it at its own precision: score64 in float64
+// (CPU-class backends), score32 with every intermediate narrowed to
+// float32 (the simulated FPGA datapaths). The cycle model for scoring
+// is future work (ROADMAP inference serving); these are the functional
+// semantics the conformance suite pins.
+
+// ScoreFloat64 evaluates the class's scoring rule at full float64
+// precision over an explicit model — the entry point for out-of-package
+// reference-precision backends (greenplum's Sharded).
+func ScoreFloat64(class Class, g *hdfg.Graph, model []float64, rows [][]float64) ([]float64, error) {
+	return score64(class, g, model, rows)
+}
+
+func scoreCheck(class Class, g *hdfg.Graph, model []float64, rows [][]float64) (nf int, err error) {
+	if g == nil || g.Model == nil {
+		return 0, ErrNotConfigured
+	}
+	if len(model) != g.ModelSize() {
+		return 0, fmt.Errorf("backend: score model size %d, want %d", len(model), g.ModelSize())
+	}
+	if class == ClassLRMF {
+		nf = 2
+	} else {
+		nf = g.Model.Shape.Size()
+	}
+	for i, row := range rows {
+		if len(row) < nf {
+			return 0, fmt.Errorf("backend: score row %d has %d values, need >= %d", i, len(row), nf)
+		}
+	}
+	return nf, nil
+}
+
+func score64(class Class, g *hdfg.Graph, model []float64, rows [][]float64) ([]float64, error) {
+	nf, err := scoreCheck(class, g, model, rows)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(rows))
+	for i, row := range rows {
+		if class == ClassLRMF {
+			rank := g.Model.Shape[1]
+			u, v := int(math.Round(row[0])), int(math.Round(row[1]))
+			rowsTotal := g.Model.Shape[0]
+			if u < 0 || u >= rowsTotal || v < 0 || v >= rowsTotal {
+				return nil, fmt.Errorf("backend: score row %d: factor index (%d,%d) out of [0,%d)", i, u, v, rowsTotal)
+			}
+			s := 0.0
+			for k := 0; k < rank; k++ {
+				s += model[u*rank+k] * model[v*rank+k]
+			}
+			out[i] = s
+			continue
+		}
+		s := 0.0
+		for j := 0; j < nf; j++ {
+			s += model[j] * row[j]
+		}
+		if class == ClassLogistic {
+			s = 1 / (1 + math.Exp(-s))
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+func score32(class Class, g *hdfg.Graph, model []float64, rows [][]float64) ([]float64, error) {
+	nf, err := scoreCheck(class, g, model, rows)
+	if err != nil {
+		return nil, err
+	}
+	m32 := narrow32(model)
+	out := make([]float64, len(rows))
+	for i, row := range rows {
+		if class == ClassLRMF {
+			rank := g.Model.Shape[1]
+			u, v := int(math.Round(row[0])), int(math.Round(row[1]))
+			rowsTotal := g.Model.Shape[0]
+			if u < 0 || u >= rowsTotal || v < 0 || v >= rowsTotal {
+				return nil, fmt.Errorf("backend: score row %d: factor index (%d,%d) out of [0,%d)", i, u, v, rowsTotal)
+			}
+			var s float32
+			for k := 0; k < rank; k++ {
+				s += m32[u*rank+k] * m32[v*rank+k]
+			}
+			out[i] = float64(s)
+			continue
+		}
+		var s float32
+		for j := 0; j < nf; j++ {
+			s += m32[j] * float32(row[j])
+		}
+		if class == ClassLogistic {
+			s = float32(1 / (1 + math.Exp(-float64(s))))
+		}
+		out[i] = float64(s)
+	}
+	return out, nil
+}

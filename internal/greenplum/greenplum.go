@@ -8,8 +8,8 @@ package greenplum
 
 import (
 	"fmt"
-	"sync"
 
+	"dana/internal/backend"
 	"dana/internal/bufpool"
 	"dana/internal/ml"
 	"dana/internal/storage"
@@ -82,7 +82,10 @@ func (c *Cluster) distribute() error {
 	return nil
 }
 
-// Train runs distributed IGD with per-epoch model averaging.
+// Train runs distributed IGD with per-epoch model averaging. The epoch
+// semantics live in EpochShards (shared with the Sharded backend); each
+// segment's trainer is the ml baseline's per-tuple Update, so the
+// float64 operation sequence is the classic one, bit for bit.
 func (c *Cluster) Train(epochs int) ([]float64, Stats, error) {
 	if epochs < 1 {
 		epochs = 1
@@ -91,32 +94,19 @@ func (c *Cluster) Train(epochs int) ([]float64, Stats, error) {
 		return nil, Stats{}, err
 	}
 	model := ml.InitModel(c.Algo, 1)
+	inners := make([]backend.Trainer, c.Segments)
+	for s := range inners {
+		inners[s] = &mlTrainer{algo: c.Algo}
+	}
 	st := Stats{Segments: c.Segments}
 	for e := 0; e < epochs; e++ {
-		locals := make([][]float64, c.Segments)
-		var wg sync.WaitGroup
-		for s := 0; s < c.Segments; s++ {
-			wg.Add(1)
-			go func(s int) {
-				defer wg.Done()
-				local := append([]float64(nil), model...)
-				for _, tup := range c.shards[s] {
-					c.Algo.Update(local, tup)
-				}
-				locals[s] = local
-			}(s)
+		next, err := EpochShards(inners, model, c.shards)
+		if err != nil {
+			return nil, Stats{}, err
 		}
-		wg.Wait()
-		// Coordinator merge: average only segments that saw data.
-		var seen [][]float64
+		model = next
 		for s := 0; s < c.Segments; s++ {
-			if len(c.shards[s]) > 0 {
-				seen = append(seen, locals[s])
-				st.Tuples += int64(len(c.shards[s]))
-			}
-		}
-		if len(seen) > 0 {
-			model = ml.AverageModels(seen)
+			st.Tuples += int64(len(c.shards[s]))
 		}
 		st.Epochs++
 	}

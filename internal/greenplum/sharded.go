@@ -1,0 +1,322 @@
+package greenplum
+
+// Sharded is the Greenplum-style distributed-IGD path recast as a
+// composable execution backend: it wraps any inner per-segment Trainer
+// (by default the golden float64 CPU trainer) and adds MADlib's
+// distributed semantics around it — round-robin tuple sharding, one
+// inner epoch per segment from the shared model, coordinator merge by
+// averaging the segments that saw data. Cluster.Train delegates its
+// epoch loop to the same core, so the classic crosscheck tests pin the
+// wrapper's float64 operation sequence bit for bit.
+
+import (
+	"fmt"
+	"sync"
+
+	"dana/internal/backend"
+	"dana/internal/cost"
+	"dana/internal/hdfg"
+	"dana/internal/ml"
+)
+
+// costGreenplum prices a job on the N-segment MADlib/Greenplum model.
+func costGreenplum(job backend.Job, env backend.Env) cost.Breakdown {
+	return cost.MADlibGreenplum(job.Workload(), env.Cost, segmentsOf(env), job.Warm)
+}
+
+// mlTrainer adapts an ml.Algorithm to the backend.Trainer surface:
+// SetModel copies the shared model in, RunEpoch applies per-tuple
+// Update in order, Model hands the local model back. It implements
+// exactly the segment-local work of the classic Cluster epoch.
+type mlTrainer struct {
+	algo  ml.Algorithm
+	model []float64
+}
+
+func (t *mlTrainer) SetModel(m []float64) error {
+	t.model = append(t.model[:0], m...)
+	return nil
+}
+
+func (t *mlTrainer) RunEpoch(st *backend.Stream) error {
+	for _, tup := range st.Rows64 {
+		t.algo.Update(t.model, tup)
+	}
+	return nil
+}
+
+func (t *mlTrainer) Model() []float64 { return t.model }
+
+// InnerFactory builds one per-segment Trainer for a configured program.
+type InnerFactory func(env backend.Env, p backend.Program) (backend.Trainer, error)
+
+// cpuInner is the default inner: the golden float64 CPU backend.
+func cpuInner(env backend.Env, p backend.Program) (backend.Trainer, error) {
+	be := backend.NewCPU(env)
+	if err := be.Configure(p); err != nil {
+		return nil, err
+	}
+	return be, nil
+}
+
+// Sharded implements backend.Backend over N inner trainers.
+type Sharded struct {
+	env   backend.Env
+	inner InnerFactory
+
+	segments int
+	inners   []backend.Trainer
+	model    []float64
+	graph    *hdfg.Graph
+	class    backend.Class
+
+	// Per-epoch scratch, reused across RunEpoch calls.
+	shards [][][]float64
+	rows64 [][]float64
+}
+
+// NewSharded builds an unconfigured Sharded backend over the default
+// (CPU) inner trainer.
+func NewSharded(env backend.Env) *Sharded { return NewShardedOver(env, cpuInner) }
+
+// NewShardedOver composes the distributed-averaging wrapper over a
+// caller-supplied inner trainer factory.
+func NewShardedOver(env backend.Env, inner InnerFactory) *Sharded {
+	return &Sharded{env: env, inner: inner}
+}
+
+func (b *Sharded) Capabilities() backend.Capabilities {
+	return backend.Capabilities{
+		Name: backend.NameSharded,
+		// GLM classes only: MADlib's model averaging has no meaningful
+		// semantics for row-sparse factor models.
+		Classes:       []backend.Class{backend.ClassLinear, backend.ClassLogistic, backend.ClassSVM},
+		Precision:     backend.PrecisionFloat64,
+		BitExactModel: true, // == per-segment golden epochs + averaging, bit for bit
+	}
+}
+
+// EstimateCost prices the job as cost.MADlibGreenplum: the per-segment
+// CPU epoch over 1/Nth of the tuples, plus per-epoch merge traffic.
+func (b *Sharded) EstimateCost(job backend.Job) (backend.Cost, error) {
+	if !b.Capabilities().Supports(job.Class) ||
+		(job.Precision != "" && job.Precision != backend.PrecisionFloat64) {
+		return backend.Cost{}, fmt.Errorf("%w: %s cannot run class=%s precision=%q",
+			backend.ErrUnsupported, backend.NameSharded, job.Class, job.Precision)
+	}
+	bd := costGreenplum(job, b.env)
+	return backend.Cost{Seconds: bd.TotalSec, Breakdown: bd}, nil
+}
+
+func (b *Sharded) Configure(p backend.Program) error {
+	if p.Graph == nil {
+		return fmt.Errorf("%w: %s needs a translated graph", backend.ErrUnsupported, backend.NameSharded)
+	}
+	class := backend.Classify(p.Graph)
+	if !b.Capabilities().Supports(class) {
+		return fmt.Errorf("%w: %s cannot run class=%s", backend.ErrUnsupported, backend.NameSharded, class)
+	}
+	segs := segmentsOf(b.env)
+	inners := make([]backend.Trainer, segs)
+	for s := range inners {
+		t, err := b.inner(b.env, p)
+		if err != nil {
+			return err
+		}
+		inners[s] = t
+	}
+	model := p.Init
+	if model == nil {
+		model = make([]float64, p.Graph.ModelSize())
+	}
+	b.segments, b.inners = segs, inners
+	b.model = append([]float64(nil), model...)
+	b.graph, b.class = p.Graph, class
+	b.shards = make([][][]float64, segs)
+	return nil
+}
+
+// RunEpoch materializes the epoch's tuples, shards them round-robin
+// (the same global-tuple-order hash Cluster.distribute uses), and runs
+// one distributed epoch.
+func (b *Sharded) RunEpoch(st *backend.Stream) error {
+	if b.inners == nil {
+		return backend.ErrNotConfigured
+	}
+	rows, err := b.materialize(st)
+	if err != nil {
+		return err
+	}
+	for s := range b.shards {
+		b.shards[s] = b.shards[s][:0]
+	}
+	for i, row := range rows {
+		s := i % b.segments
+		b.shards[s] = append(b.shards[s], row)
+	}
+	model, err := EpochShards(b.inners, b.model, b.shards)
+	if err != nil {
+		return err
+	}
+	b.model = model
+	return nil
+}
+
+func (b *Sharded) materialize(st *backend.Stream) ([][]float64, error) {
+	switch {
+	case st != nil && st.Rows64 != nil:
+		return st.Rows64, nil
+	case st != nil && st.Rows32 != nil:
+		b.rows64 = widenInto(b.rows64[:0], st.Rows32)
+		return b.rows64, nil
+	case st != nil && st.Batches != nil:
+		b.rows64 = b.rows64[:0]
+		err := st.Batches(func(rows [][]float32) error {
+			b.rows64 = widenInto(b.rows64, rows)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		return b.rows64, nil
+	default:
+		return nil, nil
+	}
+}
+
+func widenInto(dst [][]float64, rows [][]float32) [][]float64 {
+	for _, row := range rows {
+		w := make([]float64, len(row))
+		for j, v := range row {
+			w[j] = float64(v)
+		}
+		dst = append(dst, w)
+	}
+	return dst
+}
+
+// Score evaluates at float64 precision, like the inner trainers.
+func (b *Sharded) Score(model []float64, rows [][]float64) ([]float64, error) {
+	if b.inners == nil {
+		return nil, backend.ErrNotConfigured
+	}
+	return backend.ScoreFloat64(b.class, b.graph, model, rows)
+}
+
+func (b *Sharded) Model() []float64 {
+	if b.inners == nil {
+		return nil
+	}
+	return append([]float64(nil), b.model...)
+}
+
+func (b *Sharded) SetModel(m []float64) error {
+	if b.inners == nil {
+		return backend.ErrNotConfigured
+	}
+	if len(m) != len(b.model) {
+		return fmt.Errorf("greenplum: model size %d, want %d", len(m), len(b.model))
+	}
+	b.model = append(b.model[:0], m...)
+	return nil
+}
+
+// EpochShards runs one distributed IGD epoch: every segment trains its
+// shard on its own trainer starting from the shared model, in parallel;
+// the coordinator averages the models of the segments that saw data.
+// This is the single implementation of the merge semantics — both the
+// Sharded backend and the classic Cluster.Train go through it.
+func EpochShards(inners []backend.Trainer, model []float64, shards [][][]float64) ([]float64, error) {
+	if len(inners) != len(shards) {
+		return nil, fmt.Errorf("greenplum: %d trainers for %d shards", len(inners), len(shards))
+	}
+	locals := make([][]float64, len(inners))
+	errs := make([]error, len(inners))
+	var wg sync.WaitGroup
+	for s := range inners {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			if err := inners[s].SetModel(model); err != nil {
+				errs[s] = err
+				return
+			}
+			if err := inners[s].RunEpoch(&backend.Stream{Rows64: shards[s]}); err != nil {
+				errs[s] = err
+				return
+			}
+			locals[s] = inners[s].Model()
+		}(s)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Coordinator merge: average only segments that saw data.
+	var seen [][]float64
+	for s := range shards {
+		if len(shards[s]) > 0 {
+			seen = append(seen, locals[s])
+		}
+	}
+	if len(seen) == 0 {
+		return append([]float64(nil), model...), nil
+	}
+	return ml.AverageModels(seen), nil
+}
+
+// segmentsOf resolves the env's segment count.
+func segmentsOf(env backend.Env) int {
+	if env.Segments < 1 {
+		return backend.DefaultSegments
+	}
+	return env.Segments
+}
+
+// ShardedRegistration is the dispatch registration, with the averaged
+// reference semantics the conformance suite compares against: shard the
+// scenario round-robin, run each epoch as one golden epoch per segment
+// from the shared model, average the non-empty segments. The inner CPU
+// trainers are bit-identical to the golden trainer, so the comparison
+// is bit-exact.
+func ShardedRegistration() backend.Registration {
+	return backend.Registration{
+		Name:      backend.NameSharded,
+		New:       func(env backend.Env) backend.Backend { return NewSharded(env) },
+		Reference: shardedReference,
+	}
+}
+
+func shardedReference(env backend.Env, sc backend.Scenario) ([]float64, error) {
+	segs := segmentsOf(env)
+	shards := make([][][]float64, segs)
+	for i, t := range sc.Tuples {
+		shards[i%segs] = append(shards[i%segs], t)
+	}
+	oneEpoch := sc.Spec
+	oneEpoch.Epochs = 1
+	model := append([]float64(nil), sc.Init...)
+	epochs := sc.Spec.Epochs
+	if epochs < 1 {
+		epochs = 1
+	}
+	for e := 0; e < epochs; e++ {
+		var seen [][]float64
+		for s := range shards {
+			if len(shards[s]) == 0 {
+				continue
+			}
+			local := append([]float64(nil), model...)
+			if err := oneEpoch.Train(local, shards[s]); err != nil {
+				return nil, err
+			}
+			seen = append(seen, local)
+		}
+		if len(seen) > 0 {
+			model = ml.AverageModels(seen)
+		}
+	}
+	return model, nil
+}

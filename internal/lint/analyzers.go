@@ -11,6 +11,7 @@ func All() []*Analyzer {
 		ObsGuard,
 		HotAlloc,
 		FaultErrors,
+		BackendReg,
 		Shadow,
 		NilCheck,
 	}

@@ -1,0 +1,270 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// BackendReg enforces the Backend-registry invariant behind the
+// heterogeneous dispatcher (DESIGN.md, Unified Backend interface):
+// every concrete type implementing backend.Backend must be reachable
+// through a backend.Registration — the dispatcher, the conformance
+// suite, and the failover policy all iterate registrations, so an
+// unregistered backend silently escapes cost dispatch AND conformance
+// checking. Each implementation must also declare non-empty
+// Capabilities (Name + workload Classes): the dispatcher's
+// admissibility filter and the conformance trichotomy key off them.
+//
+// The check is per-package and syntactic about registration evidence:
+// a type counts as registered when some Registration composite literal
+// in the same (non-test) package has a New factory that returns it —
+// directly, via a function literal, or via a named constructor declared
+// in the package.
+var BackendReg = &Analyzer{
+	Name: "backendreg",
+	Doc:  "every backend.Backend implementation must be registered and declare non-empty Capabilities",
+	Run:  runBackendReg,
+}
+
+// backendIfacePkg finds the package that defines the Backend interface
+// vocabulary: the analyzed package itself or one of its direct imports
+// named "backend" exposing both Backend and Registration.
+func backendIfacePkg(pkg *types.Package) *types.Package {
+	isVocab := func(p *types.Package) bool {
+		if p.Name() != "backend" {
+			return false
+		}
+		b, okB := p.Scope().Lookup("Backend").(*types.TypeName)
+		_, okR := p.Scope().Lookup("Registration").(*types.TypeName)
+		if !okB || !okR {
+			return false
+		}
+		_, ok := b.Type().Underlying().(*types.Interface)
+		return ok
+	}
+	if isVocab(pkg) {
+		return pkg
+	}
+	for _, imp := range pkg.Imports() {
+		if isVocab(imp) {
+			return imp
+		}
+	}
+	return nil
+}
+
+func runBackendReg(pass *Pass) error {
+	bpkg := backendIfacePkg(pass.Pkg)
+	if bpkg == nil {
+		return nil // package doesn't speak the Backend vocabulary
+	}
+	iface := bpkg.Scope().Lookup("Backend").Type().Underlying().(*types.Interface)
+	regNamed := bpkg.Scope().Lookup("Registration").Type()
+
+	inTestFile := func(n ast.Node) bool {
+		return strings.HasSuffix(pass.Fset.Position(n.Pos()).Filename, "_test.go")
+	}
+
+	// Concrete implementations declared in this package's non-test files.
+	type impl struct {
+		tn *types.TypeName
+	}
+	var impls []impl
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		if _, isIface := tn.Type().Underlying().(*types.Interface); isIface {
+			continue
+		}
+		if strings.HasSuffix(pass.Fset.Position(tn.Pos()).Filename, "_test.go") {
+			continue
+		}
+		if types.Implements(types.NewPointer(tn.Type()), iface) || types.Implements(tn.Type(), iface) {
+			impls = append(impls, impl{tn: tn})
+		}
+	}
+	if len(impls) == 0 {
+		return nil
+	}
+
+	// Index this package's function declarations so New: someConstructor
+	// references resolve to inspectable bodies.
+	funcDecls := map[*types.Func]*ast.FuncDecl{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				if obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					funcDecls[obj] = fd
+				}
+			}
+		}
+	}
+
+	// namedOf strips pointers and reports the underlying named type.
+	namedOf := func(t types.Type) *types.Named {
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		n, _ := t.(*types.Named)
+		return n
+	}
+
+	// recordReturns collects the concrete named types returned anywhere
+	// inside body into registered.
+	registered := map[*types.TypeName]bool{}
+	recordReturns := func(body ast.Node) {
+		if body == nil {
+			return
+		}
+		ast.Inspect(body, func(n ast.Node) bool {
+			ret, ok := n.(*ast.ReturnStmt)
+			if !ok {
+				return true
+			}
+			for _, res := range ret.Results {
+				tv, ok := pass.TypesInfo.Types[res]
+				if !ok {
+					continue
+				}
+				if named := namedOf(tv.Type); named != nil {
+					registered[named.Obj()] = true
+				}
+			}
+			return true
+		})
+	}
+
+	// Find Registration composite literals (non-test files) and inspect
+	// their New factories.
+	for _, file := range pass.Files {
+		if inTestFile(file) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[lit]
+			if !ok {
+				return true
+			}
+			if named := namedOf(tv.Type); named == nil || named.Obj() != regNamed.(*types.Named).Obj() {
+				return true
+			}
+			for _, elt := range lit.Elts {
+				kv, ok := elt.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				key, ok := kv.Key.(*ast.Ident)
+				if !ok || key.Name != "New" {
+					continue
+				}
+				switch v := ast.Unparen(kv.Value).(type) {
+				case *ast.FuncLit:
+					recordReturns(v.Body)
+				default:
+					// A named constructor: resolve its declaration and
+					// inspect the returns.
+					if obj := funcObj(pass.TypesInfo, kv.Value); obj != nil {
+						if fd, ok := funcDecls[obj]; ok {
+							recordReturns(fd.Body)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Index Capabilities method declarations by receiver type.
+	capsDecl := map[*types.TypeName]*ast.FuncDecl{}
+	for obj, fd := range funcDecls {
+		if obj.Name() != "Capabilities" || fd.Recv == nil || inTestFile(fd) {
+			continue
+		}
+		sig := obj.Type().(*types.Signature)
+		if sig.Recv() == nil {
+			continue
+		}
+		if named := namedOf(sig.Recv().Type()); named != nil {
+			capsDecl[named.Obj()] = fd
+		}
+	}
+
+	for _, im := range impls {
+		if !registered[im.tn] {
+			pass.Reportf(im.tn.Pos(),
+				"type %s implements backend.Backend but no backend.Registration constructs it: unregistered backends escape dispatch and the conformance suite",
+				im.tn.Name())
+		}
+		fd, ok := capsDecl[im.tn]
+		if !ok {
+			continue // inherited via embedding; the declaring type is checked instead
+		}
+		if !capabilitiesComplete(fd) {
+			pass.Reportf(fd.Pos(),
+				"Capabilities of %s must declare Name and workload Classes: the dispatcher's admissibility filter and the conformance trichotomy key off them",
+				im.tn.Name())
+		}
+	}
+	return nil
+}
+
+// funcObj resolves an expression used as a function value to its
+// *types.Func (identifier or selector), or nil.
+func funcObj(info *types.Info, e ast.Expr) *types.Func {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[e].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[e.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// capabilitiesComplete reports whether every Capabilities composite
+// literal returned by the method sets both Name and Classes. Returns
+// that aren't composite literals (computed values) are not judged.
+func capabilitiesComplete(fd *ast.FuncDecl) bool {
+	complete := true
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			lit, ok := ast.Unparen(res).(*ast.CompositeLit)
+			if !ok {
+				continue
+			}
+			var hasName, hasClasses bool
+			for _, elt := range lit.Elts {
+				kv, ok := elt.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				if key, ok := kv.Key.(*ast.Ident); ok {
+					switch key.Name {
+					case "Name":
+						hasName = true
+					case "Classes":
+						hasClasses = true
+					}
+				}
+			}
+			if !hasName || !hasClasses {
+				complete = false
+			}
+		}
+		return true
+	})
+	return complete
+}

@@ -79,6 +79,7 @@ func TestAnalyzersGolden(t *testing.T) {
 		{ObsGuard, "obsguard"},
 		{HotAlloc, "hotalloc"},
 		{FaultErrors, "faulterrors"},
+		{BackendReg, "backendreg"},
 		{Shadow, "shadow"},
 		{NilCheck, "nilcheck"},
 	}

@@ -73,6 +73,10 @@ const (
 	RuntimeEpochRetries = "runtime.epoch_retries"
 	RuntimeEpochTimeout = "runtime.epoch_timeouts"
 	RuntimeCPUFallbacks = "runtime.cpu_fallbacks"
+	// RuntimeFailovers counts generic backend failovers (any fallback
+	// target); RuntimeCPUFallbacks additionally counts the ones that
+	// landed on the CPU backend, preserving the historical name.
+	RuntimeFailovers = "runtime.failovers"
 
 	RuntimeEpochs       = "runtime.epochs"
 	RuntimeEpochCached  = "runtime.epochs_cached"
@@ -109,6 +113,7 @@ const (
 	EvEpochRetry   = "epoch.retry"        // a=epoch index, b=healthy VMs left
 	EvEpochTimeout = "epoch.timeout"      // a=epoch index, b=deadline ns
 	EvCPUFallback  = "train.cpu_fallback" // a=epoch degraded at, b=epochs left
+	EvFailover     = "train.failover"     // a=epoch degraded at, b=epochs left
 )
 
 // ChannelBytesStreamed is the per-channel payload-byte counter name:

@@ -43,8 +43,8 @@ import (
 	"time"
 
 	"dana/internal/accessengine"
+	"dana/internal/backend"
 	"dana/internal/cost"
-	"dana/internal/engine"
 	"dana/internal/fault"
 	"dana/internal/obs"
 	"dana/internal/storage"
@@ -101,13 +101,16 @@ func (c *recordCache) clear() {
 	c.entries = nil
 }
 
-// epochRunner executes training epochs for one Train call.
+// epochRunner executes training epochs for one Train call, feeding the
+// streaming backend (the configured accelerator) through the Backend
+// seam: extraction drives be.RunEpoch with the page-order batch stream,
+// cache replays hand it the materialized rows. Both forms charge
+// identical modeled counters.
 type epochRunner struct {
-	s     *System
-	ae    *accessengine.Engine
-	rel   *storage.Relation
-	m     *engine.Machine
-	batch int
+	s   *System
+	ae  *accessengine.Engine
+	rel *storage.Relation
+	be  backend.Backend
 
 	// fits: the whole relation fits in the buffer pool, so page access
 	// order cannot change eviction behavior — the precondition for both
@@ -130,8 +133,16 @@ type epochRunner struct {
 	pinned    []uint32
 	serialRes []accessengine.PageResult
 	free      []chan *accessengine.PageResult
-	stream    *engine.EpochStream
 	col       *accessengine.Collector
+
+	// The two Stream shells handed to the backend, built once: the
+	// extraction form (Batches bound to r.batches) and the replay form
+	// (Rows32 pointed at the cache entry per replay). pendingEnt carries
+	// a freshly-filled cache entry from r.batches to runEpoch, which
+	// stores it only after the backend's epoch fully succeeds.
+	extractStream *backend.Stream
+	replayStream  *backend.Stream
+	pendingEnt    *cacheEntry
 
 	// Fault handling. healthy lists the usable Strider VM indices:
 	// quarantine removes persistently-trapping VMs, and both extraction
@@ -161,7 +172,7 @@ func (w *workerError) Error() string {
 
 func (w *workerError) Unwrap() error { return w.err }
 
-func (s *System) newEpochRunner(ae *accessengine.Engine, rel *storage.Relation, m *engine.Machine, batch int) *epochRunner {
+func (s *System) newEpochRunner(ae *accessengine.Engine, rel *storage.Relation, be backend.Backend) *epochRunner {
 	fits := rel.NumPages() <= s.DB.Pool.NumFrames()
 	workers := s.Opts.Workers
 	if workers <= 0 {
@@ -173,10 +184,9 @@ func (s *System) newEpochRunner(ae *accessengine.Engine, rel *storage.Relation, 
 	if workers < 1 {
 		workers = 1
 	}
-	// The engine-side batch fan-out never touches the buffer pool, so it
+	// The engine-side batch fan-out never touches the buffer pool and
 	// follows the configured worker count even when extraction must stay
-	// serial below.
-	m.SetHostWorkers(workers)
+	// serial below; the backend applied it at Configure.
 	if !fits {
 		// Larger-than-pool tables keep the serial pin order so clock-sweep
 		// eviction (and therefore modeled I/O) stays deterministic.
@@ -198,7 +208,7 @@ func (s *System) newEpochRunner(ae *accessengine.Engine, rel *storage.Relation, 
 		healthy[i] = i
 	}
 	r := &epochRunner{
-		s: s, ae: ae, rel: rel, m: m, batch: batch,
+		s: s, ae: ae, rel: rel, be: be,
 		fits:     fits,
 		workers:  workers,
 		channels: s.channels,
@@ -212,9 +222,12 @@ func (s *System) newEpochRunner(ae *accessengine.Engine, rel *storage.Relation, 
 		group:     make([]storage.Page, 0, ae.NumStriders),
 		pinned:    make([]uint32, 0, ae.NumStriders),
 		serialRes: make([]accessengine.PageResult, s.channels),
-		stream:    m.StreamEpoch(batch),
 		col:       ae.NewCollector(),
 	}
+	// Bound once: the streaming Batches closure and both Stream shells,
+	// so steady-state epochs allocate neither.
+	r.extractStream = &backend.Stream{Batches: r.batches}
+	r.replayStream = &backend.Stream{}
 	return r
 }
 
@@ -278,12 +291,12 @@ func (r *epochRunner) chargeChannel(res *accessengine.PageResult) {
 // the typed fault.ErrWorkerQuarantined surfaces, which the runtime
 // treats as an accelerator fault (CPU fallback).
 func (r *epochRunner) runEpochRecover(epoch int) error {
-	var snap []float32
+	var snap []float64
 	if r.faults != nil || r.s.Opts.EpochTimeout > 0 {
 		// An epoch can fail, and a failed epoch must not leave
-		// partially-applied updates behind (the CPU fallback resumes from
-		// the epoch-start model).
-		snap = r.m.Model()
+		// partially-applied updates behind (the failover backend resumes
+		// from the epoch-start model).
+		snap = r.be.Model()
 	}
 	for {
 		err := r.runEpoch(epoch)
@@ -291,7 +304,7 @@ func (r *epochRunner) runEpochRecover(epoch int) error {
 			return nil
 		}
 		if snap != nil {
-			if rerr := r.m.SetModel(snap); rerr != nil {
+			if rerr := r.be.SetModel(snap); rerr != nil {
 				return fmt.Errorf("runtime: restoring model after failed epoch: %w", rerr)
 			}
 		}
@@ -380,6 +393,12 @@ func (r *epochRunner) runEpoch(epoch int) error {
 	} else {
 		err = r.extractEpoch()
 	}
+	if err == nil && r.pendingEnt != nil {
+		// Store only after the backend's epoch fully succeeded (stream
+		// finished), preserving the historical store-after-Finish order.
+		r.s.cache.store(r.pendingEnt)
+	}
+	r.pendingEnt = nil
 	if err != nil {
 		return err
 	}
@@ -398,7 +417,7 @@ func (r *epochRunner) runEpoch(epoch int) error {
 
 // replay charges the cached per-page counters (in page order, preserving
 // the group-max cycle model and the per-channel split) and feeds the
-// cached records to the engine.
+// cached records to the backend as one materialized epoch.
 func (r *epochRunner) replay(ent *cacheEntry) error {
 	col := r.col
 	col.Reset()
@@ -407,19 +426,33 @@ func (r *epochRunner) replay(ent *cacheEntry) error {
 		r.chargeChannel(&ent.pages[i])
 	}
 	col.Flush()
-	return r.m.RunEpoch(ent.rows, r.batch)
+	r.replayStream.Rows32 = ent.rows
+	err := r.be.RunEpoch(r.replayStream)
+	r.replayStream.Rows32 = nil
+	return err
 }
 
+// extractEpoch runs one extracting epoch through the backend's
+// streaming entry point: the backend resets its engine stream, calls
+// r.batches to drive extraction, and finishes the stream. A fresh cache
+// entry is parked on pendingEnt for runEpoch to store on success.
 func (r *epochRunner) extractEpoch() error {
-	// The stream and collector live on the runner and are reset per
-	// epoch, so steady-state epochs allocate neither. The channel arenas
-	// are sized on the first epoch that really extracts: cache replays
-	// never reach this function, so they never pay for the slabs.
+	r.pendingEnt = nil
+	return r.be.RunEpoch(r.extractStream)
+}
+
+// batches is the Stream.Batches body: it extracts every page of the
+// relation in page order and emits each page's record batch to the
+// backend (the engine feed), overlapping extraction with compute when
+// workers > 1.
+func (r *epochRunner) batches(emit func([][]float32) error) error {
+	// The collector lives on the runner and is reset per epoch, so
+	// steady-state epochs allocate nothing here. The channel arenas are
+	// sized on the first epoch that really extracts: cache replays never
+	// reach this function, so they never pay for the slabs.
 	if r.arenas == nil {
 		r.sizeArenas()
 	}
-	stream := r.stream
-	stream.Reset()
 	col := r.col
 	col.Reset()
 	var ent *cacheEntry
@@ -447,7 +480,7 @@ func (r *epochRunner) extractEpoch() error {
 	sink := func(res *accessengine.PageResult) error {
 		col.Add(res)
 		r.chargeChannel(res)
-		if err := stream.Feed(res.Rows); err != nil {
+		if err := emit(res.Rows); err != nil {
 			return err
 		}
 		if ent != nil {
@@ -458,8 +491,8 @@ func (r *epochRunner) extractEpoch() error {
 	}
 	// When the cache is not retaining results, page buffers (arena +
 	// row views) are recycled across pages instead of reallocated —
-	// EpochStream copies anything it buffers, so a consumed PageResult
-	// is immediately reusable.
+	// the engine's epoch stream copies anything it buffers, so a
+	// consumed PageResult is immediately reusable.
 	reuse := ent == nil
 	// Quarantine can shrink the worker pool below the configured count:
 	// each live worker needs its own healthy VM.
@@ -477,12 +510,7 @@ func (r *epochRunner) extractEpoch() error {
 		return err
 	}
 	col.Flush()
-	if err := stream.Finish(); err != nil {
-		return err
-	}
-	if ent != nil {
-		r.s.cache.store(ent)
-	}
+	r.pendingEnt = ent
 	return nil
 }
 

@@ -6,8 +6,9 @@ import (
 	"testing"
 
 	"dana/internal/accessengine"
-	"dana/internal/engine"
+	"dana/internal/backend"
 	"dana/internal/fault"
+	"dana/internal/hdfg"
 	"dana/internal/storage"
 	"dana/internal/strider"
 )
@@ -272,6 +273,11 @@ func TestWorkerSweepBitIdentity(t *testing.T) {
 // baseline. Channel partitioning (like worker parallelism) may change
 // host wall-clock only; the per-channel obs split re-partitions the
 // same totals.
+//
+// The grid runs with the explicit Backend="accelerator" override while
+// the baseline uses the "" default: both resolve to the same backend
+// through the dispatch seam, so the sweep also proves the Backend
+// refactor did not perturb any modeled quantity on the paper path.
 func TestChannelSweepBitIdentity(t *testing.T) {
 	defer hostrt.GOMAXPROCS(hostrt.GOMAXPROCS(4))
 	const (
@@ -292,12 +298,19 @@ func TestChannelSweepBitIdentity(t *testing.T) {
 				if cfg.noCache {
 					name = "nocache"
 				}
-				mods := []func(*Options){func(o *Options) { o.Channels = channels }}
+				mods := []func(*Options){func(o *Options) {
+					o.Channels = channels
+					o.Backend = "accelerator" // explicit override of the "" default
+				}}
 				if cfg.faulted {
 					name += "+zerofaults"
 					mods = append(mods, zeroFaults)
 				}
 				got := trainConfigured(t, workload, scale, mergeCoef, epochs, workers, cfg.noCache, mods...)
+				if got.Backend != "accelerator" || serial.Backend != "accelerator" {
+					t.Fatalf("w=%d/c=%d/%s: backend %q (serial %q), want accelerator on both dispatch paths",
+						workers, channels, name, got.Backend, serial.Backend)
+				}
 				if got.Epochs != serial.Epochs {
 					t.Errorf("w=%d/c=%d/%s: epochs %d != serial %d", workers, channels, name, got.Epochs, serial.Epochs)
 				}
@@ -325,9 +338,10 @@ func TestChannelSweepBitIdentity(t *testing.T) {
 }
 
 // newBenchRunner assembles an epochRunner the way Train does (access
-// engine, machine, runner) so the allocation guard can drive epochs
-// directly. The caller must Close the returned machine.
-func newBenchRunner(t *testing.T, workers, channels int, noCache bool) (*epochRunner, *engine.Machine) {
+// engine, configured accelerator backend, runner) so the allocation
+// guard can drive epochs directly. The caller must Close the returned
+// backend.
+func newBenchRunner(t *testing.T, workers, channels int, noCache bool) (*epochRunner, *backend.Accel) {
 	t.Helper()
 	opts := DefaultOptions()
 	opts.PageSize = storage.PageSize8K
@@ -346,6 +360,10 @@ func newBenchRunner(t *testing.T, workers, channels int, noCache bool) (*epochRu
 	if err != nil {
 		t.Fatal(err)
 	}
+	graph, err := hdfg.Translate(a)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ns := acc.Design.NumStriders
 	if ns < 1 {
 		ns = 1
@@ -358,12 +376,19 @@ func newBenchRunner(t *testing.T, workers, channels int, noCache bool) (*epochRu
 		t.Fatal(err)
 	}
 	ae.SetObs(s.obs)
-	m, err := engine.NewMachine(acc.Program, acc.Design.Engine)
-	if err != nil {
+	be := backend.NewAccel(backend.Env{Obs: s.obs, Cost: opts.Cost, FPGA: opts.FPGA, Workers: workers})
+	if err := be.Configure(backend.Program{
+		Graph:     graph,
+		Engine:    acc.Program,
+		EngineCfg: acc.Design.Engine,
+		Striders:  ns,
+		MergeCoef: 16,
+		PageSize:  opts.PageSize,
+		Tuples:    d.Tuples,
+	}); err != nil {
 		t.Fatal(err)
 	}
-	m.SetObs(s.obs)
-	return s.newEpochRunner(ae, d.Rel, m, 16), m
+	return s.newEpochRunner(ae, d.Rel, be), be
 }
 
 // TestHotPathsAllocationFree is the runtime counterpart of the hotalloc

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"dana/internal/accessengine"
+	"dana/internal/backend"
 	"dana/internal/bufpool"
 	"dana/internal/catalog"
 	"dana/internal/compiler"
@@ -20,13 +21,12 @@ import (
 	"dana/internal/dsl"
 	"dana/internal/engine"
 	"dana/internal/fault"
+	"dana/internal/greenplum"
 	"dana/internal/hwgen"
-	"dana/internal/ml"
 	"dana/internal/obs"
 	"dana/internal/sql"
 	"dana/internal/storage"
 	"dana/internal/strider"
-	"dana/internal/verify"
 )
 
 // Options configure a System.
@@ -39,6 +39,17 @@ type Options struct {
 	// MaxEpochs caps functional training regardless of the UDF's epoch
 	// budget (0 = use the UDF's).
 	MaxEpochs int
+
+	// Backend selects the execution backend for Train: "" pins the DAnA
+	// accelerator pipeline (the paper path, and the historical default),
+	// "auto" lets the heterogeneous dispatcher pick the cheapest capable
+	// backend by modeled cost, and any registered name ("accelerator",
+	// "tabla", "cpu", "sharded") is an explicit override. Unknown names
+	// fail typed with backend.ErrUnknownBackend.
+	Backend string
+	// Segments is the Sharded backend's segment count
+	// (0 = backend.DefaultSegments).
+	Segments int
 
 	// Workers sets the host goroutines that run Strider VMs during
 	// extraction (0 = GOMAXPROCS, capped at the design's Strider count;
@@ -126,6 +137,8 @@ type System struct {
 
 	cache recordCache // cross-epoch extracted-record cache
 
+	disp *backend.Dispatcher // registered execution backends
+
 	channels int // effective channel count (Opts.Channels clamped)
 
 	obs *obs.Registry // observability registry (obs.Noop when disabled)
@@ -145,6 +158,7 @@ type System struct {
 	obsEpochRetries *obs.Counter
 	obsEpochTimeout *obs.Counter
 	obsCPUFallbacks *obs.Counter
+	obsFailovers    *obs.Counter
 	// Static-verification instruments.
 	obsVerifyRuns     *obs.Counter
 	obsVerifyWarnings *obs.Counter
@@ -189,6 +203,7 @@ func New(opts Options) *System {
 	s.obsEpochRetries = reg.Counter(obs.RuntimeEpochRetries)
 	s.obsEpochTimeout = reg.Counter(obs.RuntimeEpochTimeout)
 	s.obsCPUFallbacks = reg.Counter(obs.RuntimeCPUFallbacks)
+	s.obsFailovers = reg.Counter(obs.RuntimeFailovers)
 	s.obsVerifyRuns = reg.Counter(obs.StriderVerifyRuns)
 	s.obsVerifyWarnings = reg.Counter(obs.StriderVerifyWarnings)
 	s.obsVerifyRejects = reg.Counter(obs.StriderVerifyRejects)
@@ -211,8 +226,20 @@ func New(opts Options) *System {
 	if opts.Faults != nil {
 		s.DB.Pool.SetFaults(opts.Faults)
 	}
+	regs := append(backend.Builtins(), greenplum.ShardedRegistration())
+	s.disp = backend.NewDispatcher(backend.Env{
+		Obs:      reg,
+		Cost:     opts.Cost,
+		FPGA:     opts.FPGA,
+		Workers:  opts.Workers,
+		Segments: opts.Segments,
+	}, regs...)
 	return s
 }
+
+// Dispatcher exposes the system's backend dispatcher (stats CLIs,
+// tests).
+func (s *System) Dispatcher() *backend.Dispatcher { return s.disp }
 
 // Obs returns the system's observability registry (obs.Noop when the
 // system runs dark). Snapshot it for the JSON export, or read counters
@@ -314,34 +341,101 @@ func (s *System) buildAccelerator(udf *catalog.UDF, mergeCoef, numTuples int) (*
 	return acc, nil
 }
 
-// TrainResult reports one functional accelerated training run.
+// TrainResult reports one functional training run.
 type TrainResult struct {
 	UDF    string
 	Table  string
 	Model  []float32
 	Epochs int
 
+	// Backend is the dispatch name of the backend that ran the training
+	// ("accelerator" unless overridden or auto-dispatched).
+	Backend string
+
 	Engine engine.Stats
 	Access accessengine.Stats
 	Pool   bufpool.Stats
 	Design hwgen.Design
 
-	// SimulatedSeconds is the modeled accelerator time for the run
-	// (pipeline of engine/strider/transfer at the FPGA clock) plus I/O.
+	// SimulatedSeconds is the modeled time for the run: for the
+	// accelerator pipeline, engine/strider/transfer overlapped at the
+	// FPGA clock plus I/O (from the run's actual counters); for other
+	// backends, the analytic cost-model estimate.
 	SimulatedSeconds float64
 
-	// Degraded reports that the accelerator faulted mid-train and the
-	// remaining epochs ran on the golden float64 CPU trainer
-	// (graceful degradation). DegradedAtEpoch is the zero-based epoch
-	// the accelerator last attempted; epochs before it trained on the
-	// accelerator, epochs from it onward on the CPU.
+	// Degraded reports that the backend faulted mid-train and the
+	// remaining epochs ran on the failover backend (FailoverBackend —
+	// the golden float64 CPU trainer unless another fallback-capable
+	// backend is cheaper). DegradedAtEpoch is the zero-based epoch the
+	// faulted backend last attempted; epochs before it trained there,
+	// epochs from it onward on the failover target.
 	Degraded        bool
 	DegradedAtEpoch int
+	FailoverBackend string
 }
 
-// Train runs the DAnA pipeline for a registered UDF over a table:
+// jobFor classifies a (UDF, table) pair into a dispatch job: the
+// structural workload class plus the analytic cost-model inputs.
+func (s *System) jobFor(udf *catalog.UDF, rel *storage.Relation, acc *catalog.Accelerator) backend.Job {
+	class := backend.Classify(udf.Graph)
+	pages := rel.NumPages()
+	perPage := 0
+	if pages > 0 {
+		perPage = (rel.NumTuples() + pages - 1) / pages
+	}
+	epochs := udf.Graph.Epochs
+	if epochs < 1 {
+		epochs = 1
+	}
+	if s.Opts.MaxEpochs > 0 && epochs > s.Opts.MaxEpochs {
+		epochs = s.Opts.MaxEpochs
+	}
+	return backend.Job{
+		Class:             class,
+		Tuples:            rel.NumTuples(),
+		Columns:           rel.Schema.NumCols(),
+		Pages:             pages,
+		PageSize:          s.Opts.PageSize,
+		DatasetBytes:      int64(pages) * int64(s.Opts.PageSize),
+		Epochs:            epochs,
+		MergeCoef:         udf.Graph.MergeCoef,
+		ModelParams:       udf.Graph.ModelSize(),
+		Engine:            acc.Program,
+		Design:            acc.Design,
+		StriderPageCycles: accessengine.PageCycles(rel.Schema, perPage),
+		FlopsPerTuple:     backend.FlopsPerTuple(class, udf.Graph),
+		Warm:              true,
+	}
+}
+
+// pickBackend resolves Options.Backend: "" pins the accelerator (the
+// paper path), "auto" runs cost-based dispatch, anything else is an
+// explicit override by registered name.
+func (s *System) pickBackend(job backend.Job) (backend.Backend, backend.Registration, backend.Cost, error) {
+	name := s.Opts.Backend
+	switch name {
+	case "":
+		name = backend.NameAccelerator
+	case backend.NameAuto:
+		return s.disp.Pick(job)
+	}
+	be, reg, err := s.disp.New(name, job)
+	if err != nil {
+		return nil, backend.Registration{}, backend.Cost{}, err
+	}
+	c, err := be.EstimateCost(job)
+	if err != nil {
+		c = backend.Cost{}
+	}
+	return be, reg, c, nil
+}
+
+// Train runs a registered UDF over a table on the selected execution
+// backend. The default (accelerator) path is the DAnA pipeline:
 // buffer-pool pages -> Striders -> execution engine, epoch by epoch
-// with convergence checks.
+// with convergence checks; other backends train over the materialized
+// tuples (narrowed through float32, the Strider datapath width, so
+// every backend sees the same values).
 func (s *System) Train(udfName, table string) (*TrainResult, error) {
 	udf, err := s.DB.Cat.UDF(udfName)
 	if err != nil {
@@ -361,6 +455,13 @@ func (s *System) Train(udfName, table string) (*TrainResult, error) {
 		return nil, fmt.Errorf("runtime: table %q has %d columns, UDF %q consumes %d", table, got, udfName, want)
 	}
 
+	job := s.jobFor(udf, rel, acc)
+	be, reg, bcost, err := s.pickBackend(job)
+	if err != nil {
+		return nil, err
+	}
+	caps := be.Capabilities()
+
 	nStriders := acc.Design.NumStriders
 	if nStriders < 1 {
 		nStriders = 1
@@ -368,53 +469,135 @@ func (s *System) Train(udfName, table string) (*TrainResult, error) {
 	if nStriders > 16 {
 		nStriders = 16 // in-process VM instances; cycle model unchanged
 	}
-	ae, err := accessengine.New(strider.PostgresLayout(s.Opts.PageSize), rel.Schema, nStriders)
-	if err != nil {
+	if err := be.Configure(backend.Program{
+		Graph:     udf.Graph,
+		Engine:    acc.Program,
+		EngineCfg: acc.Design.Engine,
+		Striders:  nStriders,
+		MergeCoef: udf.Graph.MergeCoef,
+		PageSize:  s.Opts.PageSize,
+		Tuples:    rel.NumTuples(),
+	}); err != nil {
 		return nil, err
 	}
-	ae.SetObs(s.obs)
-	ae.SetFaults(s.Opts.Faults)
-	machine, err := engine.NewMachine(acc.Program, acc.Design.Engine)
-	if err != nil {
-		return nil, err
-	}
-	machine.SetObs(s.obs)
-	defer machine.Close() // releases batch fan-out helpers, if any
-	// LRMF-style factor models cannot start at zero (a stationary
-	// point); seed them with the same small uniform initialization the
-	// reference implementation uses.
-	if len(udf.Graph.RowUpdates) > 0 {
-		init := ml.InitModel(ml.LRMF{
-			Users: udf.Graph.Model.Shape[0], Items: 0, Rank: udf.Graph.Model.Shape[1],
-		}, 1)
-		f32 := make([]float32, len(init))
-		for i, v := range init {
-			f32[i] = float32(v)
-		}
-		if err := machine.SetModel(f32); err != nil {
-			return nil, err
-		}
+	if cl, ok := be.(backend.Closer); ok {
+		defer cl.Close() // releases batch fan-out helpers, if any
 	}
 
-	epochs := udf.Graph.Epochs
-	if epochs < 1 {
-		epochs = 1
-	}
-	if s.Opts.MaxEpochs > 0 && epochs > s.Opts.MaxEpochs {
-		epochs = s.Opts.MaxEpochs
-	}
-	res := &TrainResult{UDF: udfName, Table: table, Design: acc.Design}
-	runner := s.newEpochRunner(ae, rel, machine, udf.Graph.MergeCoef)
+	epochs := job.Epochs
+	res := &TrainResult{UDF: udfName, Table: table, Design: acc.Design, Backend: reg.Name}
 	trainStart := time.Now()
 	s.obsTrainRuns.Inc()
 	s.obs.Trace(obs.EvTrainStart, int64(epochs), int64(rel.NumPages()))
+
+	var ae *accessengine.Engine
 	var degradeErr error
-	for e := 0; e < epochs; e++ {
-		err := s.Opts.Faults.ClusterFault(e)
-		if err == nil {
-			err = runner.runEpochRecover(e)
-		}
+	if caps.Streaming {
+		// The DAnA pipeline: pages stream from the buffer pool through
+		// Striders into the engine, with the record cache and the
+		// channel-partitioned parallel extraction.
+		ae, err = accessengine.New(strider.PostgresLayout(s.Opts.PageSize), rel.Schema, nStriders)
 		if err != nil {
+			return nil, err
+		}
+		ae.SetObs(s.obs)
+		ae.SetFaults(s.Opts.Faults)
+		runner := s.newEpochRunner(ae, rel, be)
+		degradeErr, err = s.trainLoop(res, epochs, be, func(e int) error {
+			if err := s.Opts.Faults.ClusterFault(e); err != nil {
+				return err
+			}
+			return runner.runEpochRecover(e)
+		})
+	} else {
+		rows64, rows32, serr := s.scanRows(rel)
+		if serr != nil {
+			return nil, serr
+		}
+		st := &backend.Stream{Rows32: rows32, Rows64: rows64}
+		degradeErr, err = s.trainLoop(res, epochs, be, func(e int) error {
+			if caps.Accelerated {
+				// Only backends modeling faultable accelerator hardware are
+				// subject to injected cluster faults.
+				if err := s.Opts.Faults.ClusterFault(e); err != nil {
+					return err
+				}
+			}
+			epochStart := time.Now()
+			if err := be.RunEpoch(st); err != nil {
+				return err
+			}
+			wall := time.Since(epochStart).Nanoseconds()
+			s.obsEpochs.Inc()
+			s.obsEpochWall.Add(wall)
+			s.obsEpochHist.Observe(wall)
+			s.obs.Trace(obs.EvEpoch, int64(e), wall)
+			return nil
+		})
+	}
+	if err != nil {
+		return nil, err
+	}
+	if res.Degraded {
+		if err := s.failover(res, job, be, reg.Name, udf, rel, epochs); err != nil {
+			// Both errors wrap: the caller must be able to errors.Is against
+			// the accelerator fault that triggered degradation AND the
+			// failover failure.
+			return nil, fmt.Errorf("runtime: backend failover after accelerator fault (%w) failed: %w", degradeErr, err)
+		}
+	}
+	counters := engine.Stats{}
+	if cb, ok := be.(backend.CounterBackend); ok {
+		counters = cb.Counters()
+	}
+	s.obsTrainWall.Add(time.Since(trainStart).Nanoseconds())
+	s.obs.Trace(obs.EvTrainDone, int64(res.Epochs), counters.Cycles)
+	if !res.Degraded {
+		res.Model = model32(be.Model())
+	}
+	res.Engine = counters
+	if ae != nil {
+		res.Access = ae.Stats()
+	}
+	res.Pool = s.DB.Pool.Stats()
+	if caps.Streaming {
+		// Pipeline time: engine and striders overlap; link transfer too.
+		// Transfer is charged through the channel model (max-over-channels
+		// of the round-robin page shares); the run's page stream — cached
+		// replays included — is one interleaved sequence. The zero-value
+		// Cost.Link reproduces the legacy scalar PCIe×scale charge exactly.
+		clock := s.Opts.FPGA.ClockHz
+		engineSec := float64(res.Engine.Cycles) / clock
+		striderSec := float64(res.Access.Cycles) / clock
+		cp := s.Opts.Cost
+		cp.BandwidthScale = nz(cp.BandwidthScale)
+		transferSec := cost.TransferSec(cost.Workload{
+			DatasetBytes: res.Access.Pages * int64(s.Opts.PageSize),
+			Pages:        int(res.Access.Pages),
+		}, cp)
+		pipe := engineSec
+		if striderSec > pipe {
+			pipe = striderSec
+		}
+		if transferSec > pipe {
+			pipe = transferSec
+		}
+		res.SimulatedSeconds = pipe + res.Pool.IOSeconds + s.Opts.Cost.SetupSec
+	} else {
+		// Non-pipeline backends report the analytic estimate: they have no
+		// modeled page stream to integrate.
+		res.SimulatedSeconds = bcost.Seconds
+	}
+	return res, nil
+}
+
+// trainLoop drives the per-epoch body with convergence checks and the
+// shared degradation policy: an accelerator fault marks the result
+// degraded (for the failover path) unless fallback is disabled; every
+// other error surfaces directly.
+func (s *System) trainLoop(res *TrainResult, epochs int, be backend.Backend, body func(e int) error) (degradeErr error, err error) {
+	for e := 0; e < epochs; e++ {
+		if err := body(e); err != nil {
 			if errors.Is(err, fault.ErrEpochTimeout) {
 				s.obsEpochTimeout.Inc()
 				s.obs.Trace(obs.EvEpochTimeout, int64(e), int64(s.Opts.EpochTimeout))
@@ -422,97 +605,166 @@ func (s *System) Train(udfName, table string) (*TrainResult, error) {
 			if s.Opts.DisableCPUFallback || !fault.IsAcceleratorFault(err) {
 				return nil, err
 			}
-			// Graceful degradation: the accelerator is gone but storage
-			// is intact, so the remaining epochs run on the golden
-			// float64 CPU trainer from the epoch-start model state.
-			degradeErr = err
+			// Graceful degradation: the accelerator is gone but storage is
+			// intact, so the remaining epochs run on the failover backend
+			// from the epoch-start model state.
 			res.Degraded = true
 			res.DegradedAtEpoch = e
-			break
+			return err, nil
 		}
 		res.Epochs++
-		done, err := machine.Converged()
-		if err != nil {
-			return nil, err
-		}
-		if done {
-			break
-		}
-	}
-	if res.Degraded {
-		if err := s.trainOnCPU(res, udf, rel, machine, epochs); err != nil {
-			// Both errors wrap: the caller must be able to errors.Is against
-			// the accelerator fault that triggered degradation AND the
-			// fallback failure.
-			return nil, fmt.Errorf("runtime: CPU fallback after accelerator fault (%w) failed: %w", degradeErr, err)
+		if cv, ok := be.(backend.Converger); ok {
+			done, cerr := cv.Converged()
+			if cerr != nil {
+				return nil, cerr
+			}
+			if done {
+				break
+			}
 		}
 	}
-	s.obsTrainWall.Add(time.Since(trainStart).Nanoseconds())
-	s.obs.Trace(obs.EvTrainDone, int64(res.Epochs), machine.Stats().Cycles)
-	if !res.Degraded {
-		res.Model = machine.Model()
-	}
-	res.Engine = machine.Stats()
-	res.Access = ae.Stats()
-	res.Pool = s.DB.Pool.Stats()
-	// Pipeline time: engine and striders overlap; link transfer too.
-	// Transfer is charged through the channel model (max-over-channels
-	// of the round-robin page shares); the run's page stream — cached
-	// replays included — is one interleaved sequence. The zero-value
-	// Cost.Link reproduces the legacy scalar PCIe×scale charge exactly.
-	clock := s.Opts.FPGA.ClockHz
-	engineSec := float64(res.Engine.Cycles) / clock
-	striderSec := float64(res.Access.Cycles) / clock
-	cp := s.Opts.Cost
-	cp.BandwidthScale = nz(cp.BandwidthScale)
-	transferSec := cost.TransferSec(cost.Workload{
-		DatasetBytes: res.Access.Pages * int64(s.Opts.PageSize),
-		Pages:        int(res.Access.Pages),
-	}, cp)
-	pipe := engineSec
-	if striderSec > pipe {
-		pipe = striderSec
-	}
-	if transferSec > pipe {
-		pipe = transferSec
-	}
-	res.SimulatedSeconds = pipe + res.Pool.IOSeconds + s.Opts.Cost.SetupSec
-	return res, nil
+	return nil, nil
 }
 
-// trainOnCPU completes a degraded training run on the golden float64
-// CPU trainer (internal/verify): it picks up the machine's epoch-start
-// model, re-reads the tuples from the heap (narrowed through float32,
-// matching the Strider datapath), and runs the remaining epoch budget.
-// The downgrade is surfaced via the runtime.cpu_fallbacks counter and a
-// train.cpu_fallback trace event — never a panic, never a silent wrong
-// model.
-func (s *System) trainOnCPU(res *TrainResult, udf *catalog.UDF, rel *storage.Relation, m *engine.Machine, totalEpochs int) error {
-	s.obsCPUFallbacks.Inc()
-	s.obs.Trace(obs.EvCPUFallback, int64(res.DegradedAtEpoch), int64(totalEpochs-res.DegradedAtEpoch))
-	tr, err := verify.NewCPUTrainer(udf.Graph, m.Model())
+// failover completes a degraded training run on the dispatcher's
+// failover target — among backends declaring Capabilities.Fallback, the
+// cheapest admissible one that is not the faulted backend (the golden
+// float64 CPU trainer in the default registry). It picks up the faulted
+// backend's epoch-start model, re-reads the tuples from the heap
+// (narrowed through float32, matching the Strider datapath), and runs
+// the remaining epoch budget. The downgrade is surfaced via the
+// runtime.failovers counter (plus the historical runtime.cpu_fallbacks
+// when the target is the CPU backend) and trace events — never a panic,
+// never a silent wrong model.
+func (s *System) failover(res *TrainResult, job backend.Job, failed backend.Backend, failedName string, udf *catalog.UDF, rel *storage.Relation, totalEpochs int) error {
+	fb, freg, err := s.disp.Failover(job, failedName)
 	if err != nil {
 		return err
 	}
-	var tuples [][]float64
-	err = rel.Scan(func(_ storage.TID, vals []float64) error {
-		row := make([]float64, len(vals))
-		for i, v := range vals {
-			row[i] = float64(float32(v))
+	remaining := totalEpochs - res.DegradedAtEpoch
+	s.obsFailovers.Inc()
+	s.obs.Trace(obs.EvFailover, int64(res.DegradedAtEpoch), int64(remaining))
+	if freg.Name == backend.NameCPU {
+		s.obsCPUFallbacks.Inc()
+		s.obs.Trace(obs.EvCPUFallback, int64(res.DegradedAtEpoch), int64(remaining))
+	}
+	if err := fb.Configure(backend.Program{
+		Graph:     udf.Graph,
+		MergeCoef: udf.Graph.MergeCoef,
+		PageSize:  s.Opts.PageSize,
+		Tuples:    rel.NumTuples(),
+		Init:      failed.Model(), // epoch-start state (restored on epoch failure)
+	}); err != nil {
+		return err
+	}
+	if cl, ok := fb.(backend.Closer); ok {
+		defer cl.Close()
+	}
+	rows64, _, err := s.scanRows(rel)
+	if err != nil {
+		return err
+	}
+	st := &backend.Stream{Rows64: rows64}
+	for e := 0; e < remaining; e++ {
+		if err := fb.RunEpoch(st); err != nil {
+			return err
 		}
-		tuples = append(tuples, row)
+		res.Epochs++
+		if cv, ok := fb.(backend.Converger); ok {
+			done, cerr := cv.Converged()
+			if cerr != nil {
+				return cerr
+			}
+			if done {
+				break
+			}
+		}
+	}
+	res.FailoverBackend = freg.Name
+	res.Model = model32(fb.Model())
+	return nil
+}
+
+// BackendCost is one dispatch candidate's modeled price for a job, as
+// reported by `danactl stats -backend`.
+type BackendCost struct {
+	Name    string
+	Seconds float64
+	// Err is the typed rejection for backends that cannot run the job
+	// ("" = admissible).
+	Err string
+}
+
+// EstimateBackends prices a registered (UDF, table) job on every
+// registered backend — the dispatcher's view before it picks. The
+// returned slice is in registry (name) order.
+func (s *System) EstimateBackends(udfName, table string) ([]BackendCost, error) {
+	udf, err := s.DB.Cat.UDF(udfName)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := s.DB.Cat.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	acc, ok := s.DB.Cat.Accelerator(udfName)
+	if !ok {
+		if acc, err = s.buildAccelerator(udf, 0, rel.NumTuples()); err != nil {
+			return nil, err
+		}
+	}
+	job := s.jobFor(udf, rel, acc)
+	var out []BackendCost
+	for _, reg := range s.disp.Registrations() {
+		bc := BackendCost{Name: reg.Name}
+		c, err := reg.New(backend.Env{
+			Obs: obs.Noop, Cost: s.Opts.Cost, FPGA: s.Opts.FPGA,
+			Workers: s.Opts.Workers, Segments: s.Opts.Segments,
+		}).EstimateCost(job)
+		if err != nil {
+			bc.Err = err.Error()
+		} else {
+			bc.Seconds = c.Seconds
+		}
+		out = append(out, bc)
+	}
+	return out, nil
+}
+
+// scanRows materializes the relation's tuples with every value narrowed
+// through float32 — the Strider datapath width — so backends that skip
+// the extraction pipeline still see the exact values it would deliver.
+func (s *System) scanRows(rel *storage.Relation) (rows64 [][]float64, rows32 [][]float32, err error) {
+	err = rel.Scan(func(_ storage.TID, vals []float64) error {
+		r32 := make([]float32, len(vals))
+		r64 := make([]float64, len(vals))
+		for i, v := range vals {
+			f := float32(v)
+			r32[i] = f
+			r64[i] = float64(f)
+		}
+		rows32 = append(rows32, r32)
+		rows64 = append(rows64, r64)
 		return nil
 	})
 	if err != nil {
-		return err
+		return nil, nil, err
 	}
-	ran, err := tr.Train(tuples, totalEpochs-res.DegradedAtEpoch)
-	if err != nil {
-		return err
+	return rows64, rows32, nil
+}
+
+// model32 narrows a backend's float64 model view to the result's
+// float32 representation (exact for values that round-tripped through
+// float32 upstream).
+func model32(m []float64) []float32 {
+	if m == nil {
+		return nil
 	}
-	res.Epochs += ran
-	res.Model = tr.Model32()
-	return nil
+	out := make([]float32, len(m))
+	for i, v := range m {
+		out[i] = float32(v)
+	}
+	return out
 }
 
 func nz(v float64) float64 {
