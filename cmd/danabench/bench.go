@@ -58,6 +58,12 @@ type benchEntry struct {
 	Samples     []float64 `json:"samples,omitempty"`
 	BytesPerOp  int64     `json:"bytes_per_op,omitempty"`
 	AllocsPerOp int64     `json:"allocs_per_op,omitempty"`
+	// Metrics carries custom b.ReportMetric units (medians across
+	// repetitions) — e.g. the server load benchmark's vjobs/s, p99ms,
+	// and reuse%. Informational in the gate: only ns/op is gated.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+
+	metricSamples map[string][]float64
 }
 
 // calibrationBench is the fixed-arithmetic kernel used to normalize
@@ -140,6 +146,12 @@ func runGoBench(benchRe string, count int, pkgs []string) (map[string]benchEntry
 		agg.Samples = append(agg.Samples, e.NsPerOp)
 		agg.BytesPerOp = e.BytesPerOp
 		agg.AllocsPerOp = e.AllocsPerOp
+		for unit, v := range e.Metrics {
+			if agg.metricSamples == nil {
+				agg.metricSamples = map[string][]float64{}
+			}
+			agg.metricSamples[unit] = append(agg.metricSamples[unit], v)
+		}
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
@@ -150,6 +162,12 @@ func runGoBench(benchRe string, count int, pkgs []string) (map[string]benchEntry
 	out := make(map[string]benchEntry, len(samples))
 	for name, agg := range samples {
 		agg.NsPerOp = median(agg.Samples)
+		for unit, vs := range agg.metricSamples {
+			if agg.Metrics == nil {
+				agg.Metrics = map[string]float64{}
+			}
+			agg.Metrics[unit] = median(vs)
+		}
 		out[name] = *agg
 	}
 	return out, nil
@@ -181,6 +199,12 @@ func parseBenchLine(line string) (string, benchEntry, bool) {
 			e.BytesPerOp = int64(v)
 		case "allocs/op":
 			e.AllocsPerOp = int64(v)
+		default:
+			// Custom b.ReportMetric units (vjobs/s, p99ms, reuse%, ...).
+			if e.Metrics == nil {
+				e.Metrics = map[string]float64{}
+			}
+			e.Metrics[f[i+1]] = v
 		}
 	}
 	if !seen {

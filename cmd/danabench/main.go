@@ -8,7 +8,8 @@
 // Experiments: table3 table4 table5 fig8 fig9 fig10 fig11 fig12 fig13
 // fig14 fig15 fig16, plus pagesweep (8/16/32 KB sensitivity), batch
 // (batch-size vs epochs-to-converge, functional), ablation (design
-// ablations), and scorecard (headline paper-vs-measured summary).
+// ablations), scorecard (headline paper-vs-measured summary), and
+// tenants (multi-tenant server: sequence-aware vs always-reconfigure).
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 
 	"dana/internal/experiments"
 	"dana/internal/hwgen"
+	"dana/internal/server"
 )
 
 func main() {
@@ -47,7 +49,7 @@ func main() {
 		"fig14": fig14, "fig15": fig15, "fig16": fig16,
 		"pagesweep": pageSweep, "batch": batchConv, "ablation": ablations,
 		"scorecard": scorecard, "schedule": schedule, "custom": custom,
-		"channels": channelSweep,
+		"channels": channelSweep, "tenants": tenants,
 	}
 	if *exp == "all" {
 		names := make([]string, 0, len(runners))
@@ -189,6 +191,18 @@ func channelSweep(env experiments.Env) error {
 			r.TransferSec, r.PipelineSec, r.Speedup, r.Saturated)
 	}
 	return nil
+}
+
+// tenants runs the seeded many-tenant open-loop load through the
+// multi-tenant server under sequence-aware scheduling and compares it
+// against an always-reconfigure plan of the same schedule. The
+// experiment errors — and -exp all exits non-zero — if any job fails,
+// the per-tenant counter identity breaks, or sequence-aware fails to
+// beat always-reconfigure on modeled makespan.
+func tenants(env experiments.Env) error {
+	header("Multi-tenant server: sequence-aware vs always-reconfigure (seeded open-loop load)")
+	_, err := server.TenantExperiment(os.Stdout, server.DefaultExperiment())
+	return err
 }
 
 func fail(err error) {

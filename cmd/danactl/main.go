@@ -22,6 +22,11 @@
 //	                         # table and marks the backend that served
 //	danactl stats -json      # machine-readable obs snapshot instead
 //	danactl trace            # train, then dump the trace-event ring
+//	danactl sessions         # run a seeded multi-tenant load through the
+//	                         # accelerator server and print the per-tenant
+//	                         # session view (jobs, reuse, cycles); exits
+//	                         # non-zero if the per-tenant counter identity
+//	                         # breaks (see -help after the subcommand)
 package main
 
 import (
@@ -38,9 +43,13 @@ import (
 func main() {
 	args := os.Args[1:]
 	mode := "train"
-	if len(args) > 0 && (args[0] == "stats" || args[0] == "trace") {
+	if len(args) > 0 && (args[0] == "stats" || args[0] == "trace" || args[0] == "sessions") {
 		mode = args[0]
 		args = args[1:]
+	}
+	if mode == "sessions" {
+		runSessions(args)
+		return
 	}
 	var (
 		workload = flag.String("workload", "Remote Sensing LR", "Table 3 workload name")

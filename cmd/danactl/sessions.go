@@ -1,0 +1,56 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dana/internal/server"
+)
+
+// runSessions is the "danactl sessions" subcommand: it drives a seeded
+// open-loop multi-tenant load through the accelerator server (the same
+// path danasrv serves) and prints the per-tenant session view. The
+// sum-identity checks — per-tenant counters equal to each tenant
+// registry's strider/engine totals, and their sums equal to the global
+// totals — must hold even though the sessions interleave on the shared
+// instance pool; danactl exits non-zero if they do not.
+func runSessions(args []string) {
+	fs := flag.NewFlagSet("sessions", flag.ExitOnError)
+	var (
+		tenants   = fs.Int("tenants", 4, "number of named tenants")
+		jobs      = fs.Int("jobs", 24, "jobs in the generated load")
+		rate      = fs.Float64("rate", 8, "open-loop arrival rate, jobs per virtual second")
+		scale     = fs.Float64("scale", 0.002, "dataset scale per job")
+		epochs    = fs.Int("epochs", 2, "training epoch budget per job")
+		seed      = fs.Int64("seed", 1, "load and dataset seed")
+		instances = fs.Int("instances", 2, "accelerator instances in the pool")
+		policy    = fs.String("policy", "sequence", "scheduling policy: sequence | reconfigure")
+	)
+	check(fs.Parse(args))
+
+	pol, err := server.ParsePolicy(*policy)
+	check(err)
+	srv, err := server.New(server.Config{
+		Tenants:   server.DefaultTenants(*tenants),
+		Instances: *instances,
+		Policy:    pol,
+		Seed:      *seed,
+	})
+	check(err)
+	specs := server.GenLoad(server.LoadConfig{
+		Seed: *seed, Tenants: *tenants, Jobs: *jobs, RateJobsPerSec: *rate,
+		Scale: *scale, Epochs: *epochs,
+	})
+	rep, err := srv.Run(specs)
+	check(err)
+	server.WriteReport(os.Stdout, rep)
+	if err := srv.IdentityError(); err != nil {
+		fmt.Fprintln(os.Stderr, "danactl:", err)
+		os.Exit(1)
+	}
+	fmt.Println("per-tenant counter identity holds (tenant sums == registry totals)")
+	if rep.Errors > 0 {
+		check(fmt.Errorf("%d job(s) failed", rep.Errors))
+	}
+}

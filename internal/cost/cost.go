@@ -48,6 +48,16 @@ type Params struct {
 	SetupSec         float64 // bitstream/config/queue setup per query
 	EpochDispatchSec float64 // per-epoch scan re-issue/handshake on the DAnA paths
 
+	// Multi-tenant server reconfiguration pricing (reconfig.go):
+	// switching an accelerator instance to a different hDFG/Strider
+	// configuration costs ReconfigureSec (partial-reconfiguration region
+	// load plus Strider program install); reusing the loaded
+	// configuration costs only the ConfigReuseSec handshake (model
+	// reset, queue re-arm). Both are charged per placement by
+	// internal/server instead of the per-query SetupSec.
+	ReconfigureSec float64
+	ConfigReuseSec float64
+
 	// Greenplum.
 	SegmentSyncSec float64 // per-epoch, per-segment coordination cost
 
@@ -73,6 +83,8 @@ func Default() Params {
 		FPGAClockHz:          150e6,
 		SetupSec:             0.1,
 		EpochDispatchSec:     20e-3,
+		ReconfigureSec:       80e-3,
+		ConfigReuseSec:       2e-3,
 		SegmentSyncSec:       2e-3,
 		ExportBytesPerSec:    120e6,
 		TransformBytesPerSec: 2e9,

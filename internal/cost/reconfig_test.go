@@ -1,0 +1,80 @@
+package cost
+
+import (
+	"math"
+	"testing"
+)
+
+func TestReconfigSec(t *testing.T) {
+	p := Default()
+	if p.ReconfigureSec <= 0 || p.ConfigReuseSec <= 0 {
+		t.Fatalf("default reconfig params must be positive: %v / %v",
+			p.ReconfigureSec, p.ConfigReuseSec)
+	}
+	if p.ConfigReuseSec >= p.ReconfigureSec {
+		t.Fatalf("reuse handshake (%v) must be cheaper than a full reconfiguration (%v)",
+			p.ConfigReuseSec, p.ReconfigureSec)
+	}
+	if got := ReconfigSec(p, true); got != p.ConfigReuseSec {
+		t.Errorf("ReconfigSec(reuse) = %v, want %v", got, p.ConfigReuseSec)
+	}
+	if got := ReconfigSec(p, false); got != p.ReconfigureSec {
+		t.Errorf("ReconfigSec(switch) = %v, want %v", got, p.ReconfigureSec)
+	}
+}
+
+func TestAmortizedReconfigSec(t *testing.T) {
+	p := Default()
+	if got := AmortizedReconfigSec(p, 0); got != p.ReconfigureSec {
+		t.Errorf("no upcoming demand: %v, want the full charge %v", got, p.ReconfigureSec)
+	}
+	if got := AmortizedReconfigSec(p, -5); got != p.ReconfigureSec {
+		t.Errorf("negative demand must clamp to the full charge, got %v", got)
+	}
+	prev := math.Inf(1)
+	for _, n := range []int{0, 1, 3, 10, 100} {
+		got := AmortizedReconfigSec(p, n)
+		if got >= prev {
+			t.Fatalf("amortization must strictly decrease with demand: f(%d) = %v >= %v", n, got, prev)
+		}
+		if want := p.ReconfigureSec / float64(1+n); got != want {
+			t.Fatalf("AmortizedReconfigSec(%d) = %v, want %v", n, got, want)
+		}
+		prev = got
+	}
+}
+
+func TestServerServiceSec(t *testing.T) {
+	p := Default()
+	if got := ServerServiceSec(p.SetupSec+1.5, p); got != 1.5 {
+		t.Errorf("ServerServiceSec = %v, want 1.5", got)
+	}
+	if got := ServerServiceSec(p.SetupSec/2, p); got != 0 {
+		t.Errorf("service below the setup charge must clamp to 0, got %v", got)
+	}
+}
+
+func TestScoreServiceSec(t *testing.T) {
+	p := Default()
+	w := Workload{
+		Tuples: 10000, Columns: 55, Epochs: 8, DAnAEpochs: 3,
+		DatasetBytes: 64 << 20, Pages: 2048,
+		EpochCycles: 5_000_000, StriderPageCycles: 900, Striders: 4,
+	}
+	got := ScoreServiceSec(w, p)
+	if got <= 0 {
+		t.Fatalf("score service must be positive, got %v", got)
+	}
+	// One data pass, independent of the training epoch budget.
+	w2 := w
+	w2.Epochs, w2.DAnAEpochs = 100, 0
+	if again := ScoreServiceSec(w2, p); again != got {
+		t.Errorf("score pricing must ignore the epoch budget: %v vs %v", again, got)
+	}
+	// And it must be cheaper than the full multi-epoch training estimate.
+	train := DAnA(w, p, true).TotalSec
+	if got >= train {
+		t.Errorf("one scoring pass (%v) should undercut the %d-epoch train (%v)",
+			got, w.DAnAEpochs, train)
+	}
+}

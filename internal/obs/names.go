@@ -129,3 +129,31 @@ func ChannelBytesStreamed(ch int) string {
 func ChannelBusyCycles(ch int) string {
 	return fmt.Sprintf("channel.%d.busy_cycles", ch)
 }
+
+// Per-tenant metric names (internal/server). The server keeps one
+// private obs registry per tenant (attached to that tenant's
+// runtime.System) and charges tenant.<name>.<metric> counters in its
+// own registry from registry deltas taken around each job, so the
+// per-tenant cycle counters sum exactly to the per-tenant registries'
+// engine/strider totals even when sessions interleave — `danactl
+// sessions` asserts the identity and exits non-zero on violation.
+// Handles are resolved once at server construction, like every other
+// instrument.
+const (
+	TenantMetricJobs          = "jobs"
+	TenantMetricTrains        = "trains"
+	TenantMetricScores        = "scores"
+	TenantMetricErrors        = "errors"
+	TenantMetricDegraded      = "degraded"
+	TenantMetricReuses        = "config_reuses"
+	TenantMetricReconfigs     = "reconfigs"
+	TenantMetricEngineCycles  = "engine_cycles"
+	TenantMetricStriderCycles = "strider_cycles"
+	TenantMetricWaitMicros    = "wait_us"
+)
+
+// TenantCounter is the per-tenant counter name for one of the
+// TenantMetric* metrics: "tenant.<tenant>.<metric>".
+func TenantCounter(tenant, metric string) string {
+	return "tenant." + tenant + "." + metric
+}

@@ -1,0 +1,171 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"testing"
+
+	"dana/internal/fault"
+)
+
+// isTypedFault accepts the full set of injected-fault sentinels: the
+// accelerator class the runtime degrades from, plus the storage class
+// (torn pages, transient I/O) that no failover can mask.
+func isTypedFault(err error) bool {
+	return fault.IsAcceleratorFault(err) ||
+		errors.Is(err, fault.ErrTornPage) ||
+		errors.Is(err, fault.ErrIOTransient)
+}
+
+func envInt(name string, def int) int {
+	if v := os.Getenv(name); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	return def
+}
+
+// compareHealthy asserts the healthy tenants' functional outcomes are
+// bit-identical between a faulty run and its fault-free mirror.
+func compareHealthy(t *testing.T, specs []JobSpec, faulty string, chaos, clean *Report) {
+	t.Helper()
+	for i := range specs {
+		if specs[i].Tenant == faulty {
+			continue
+		}
+		a, b := chaos.Results[i], clean.Results[i]
+		if a.Err != nil {
+			t.Fatalf("healthy tenant %s job %d failed in the chaos run: %v", specs[i].Tenant, i, a.Err)
+		}
+		if a.Degraded {
+			t.Fatalf("healthy tenant %s job %d degraded in the chaos run", specs[i].Tenant, i)
+		}
+		if a.EngineCycles != b.EngineCycles || a.StriderCycles != b.StriderCycles {
+			t.Fatalf("healthy tenant %s job %d: chaos cycles (%d,%d) vs clean (%d,%d) — isolation leak",
+				specs[i].Tenant, i, a.EngineCycles, a.StriderCycles, b.EngineCycles, b.StriderCycles)
+		}
+		if len(a.Model) != len(b.Model) {
+			t.Fatalf("healthy tenant %s job %d: model sizes differ", specs[i].Tenant, i)
+		}
+		for k := range a.Model {
+			if a.Model[k] != b.Model[k] {
+				t.Fatalf("healthy tenant %s job %d: model bit-differs at %d", specs[i].Tenant, i, k)
+			}
+		}
+	}
+}
+
+func runTenantChaos(t *testing.T, specs []JobSpec, tenants int, seed int64, faultCfg fault.Config) (*Report, *Report) {
+	t.Helper()
+	faulty := TenantName(0)
+	mk := func(withFaults bool) *Report {
+		tcs := DefaultTenants(tenants)
+		if withFaults {
+			for i := range tcs {
+				if tcs[i].Name == faulty {
+					fc := faultCfg
+					tcs[i].Faults = &fc
+				}
+			}
+		}
+		srv, err := New(Config{Tenants: tcs, Instances: 2, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := srv.Run(specs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := srv.IdentityError(); err != nil {
+			t.Fatalf("counter identity under chaos: %v", err)
+		}
+		return rep
+	}
+	return mk(true), mk(false)
+}
+
+// TestTenantIsolationTrapStorm pins the headline isolation claim: a
+// tenant under a persistent Strider trap storm degrades (CPU failover),
+// while every other tenant's jobs stay bit-identical to a run with no
+// faults anywhere.
+func TestTenantIsolationTrapStorm(t *testing.T) {
+	load := smallLoad(29)
+	specs := GenLoad(load)
+	var rates [fault.NumPoints]float64
+	rates[fault.StriderTrap] = 1.0
+	chaos, clean := runTenantChaos(t, specs, load.withDefaults().Tenants, load.Seed, fault.Config{
+		Seed:              29,
+		Rates:             rates,
+		TransientAttempts: -1, // persistent: every accelerated attempt traps
+	})
+
+	faulty := TenantName(0)
+	sawImpact := false
+	for i := range specs {
+		if specs[i].Tenant != faulty {
+			continue
+		}
+		r := chaos.Results[i]
+		if r.Err != nil && !isTypedFault(r.Err) {
+			t.Fatalf("faulty tenant job %d failed with an untyped error: %v", i, r.Err)
+		}
+		if r.Degraded || r.Err != nil {
+			sawImpact = true
+		}
+	}
+	if !sawImpact {
+		t.Fatal("trap storm at rate 1.0 left the faulty tenant untouched")
+	}
+	compareHealthy(t, specs, faulty, chaos, clean)
+}
+
+// TestTenantChaosSuite is the randomized cron matrix: each scenario
+// draws a fault point, rate, and transience for one tenant and asserts
+// isolation plus the counter identity. Override the scenario count with
+// DANA_TENANT_N and the seed base with DANA_TENANT_SEED.
+func TestTenantChaosSuite(t *testing.T) {
+	n := envInt("DANA_TENANT_N", 6)
+	base := envInt("DANA_TENANT_SEED", 1)
+	if testing.Short() {
+		n = 2
+	}
+	points := []fault.Point{
+		fault.PoolRead, fault.PoolLatency, fault.PageTear,
+		fault.PageBitFlip, fault.StriderTrap, fault.WorkerStall,
+	}
+	for i := 0; i < n; i++ {
+		seed := int64(base) + int64(i)
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			g := rand.New(rand.NewSource(seed))
+			load := LoadConfig{
+				Seed: seed, Tenants: 2 + g.Intn(3), Jobs: 8 + g.Intn(8),
+				RateJobsPerSec: 4 + 8*g.Float64(),
+				Workloads:      []string{"WLAN", "Patient", "Blog Feedback"},
+				Scale:          0.002, Epochs: 1,
+			}
+			specs := GenLoad(load)
+			var rates [fault.NumPoints]float64
+			rates[points[g.Intn(len(points))]] = []float64{0.05, 0.25, 1.0}[g.Intn(3)]
+			chaos, clean := runTenantChaos(t, specs, load.withDefaults().Tenants, load.Seed, fault.Config{
+				Seed:              uint64(seed),
+				Rates:             rates,
+				TransientAttempts: []int{1, 2, -1}[g.Intn(3)],
+			})
+			faulty := TenantName(0)
+			for i := range specs {
+				if specs[i].Tenant != faulty {
+					continue
+				}
+				if err := chaos.Results[i].Err; err != nil && !isTypedFault(err) {
+					t.Fatalf("faulty tenant job %d: untyped error %v", i, err)
+				}
+			}
+			compareHealthy(t, specs, faulty, chaos, clean)
+		})
+	}
+}

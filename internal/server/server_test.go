@@ -1,0 +1,289 @@
+package server
+
+import (
+	"errors"
+	"io"
+	"sync"
+	"testing"
+)
+
+func smallLoad(seed int64) LoadConfig {
+	return LoadConfig{
+		Seed: seed, Tenants: 3, Jobs: 12, RateJobsPerSec: 8,
+		Workloads: []string{"WLAN", "Patient"},
+		Scale:     0.002, Epochs: 1,
+	}
+}
+
+func newTestServer(t *testing.T, load LoadConfig, instances int) *Server {
+	t.Helper()
+	srv, err := New(Config{
+		Tenants:   DefaultTenants(load.withDefaults().Tenants),
+		Instances: instances,
+		Seed:      load.Seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+// TestServerRunIdentity drives a seeded mixed train/score load through
+// the full stack and checks the batch is clean and the per-tenant
+// counter identity holds exactly.
+func TestServerRunIdentity(t *testing.T) {
+	load := smallLoad(7)
+	srv := newTestServer(t, load, 2)
+	rep, err := srv.Run(GenLoad(load))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Jobs != load.withDefaults().Jobs {
+		t.Fatalf("ran %d jobs, want %d", rep.Jobs, load.withDefaults().Jobs)
+	}
+	if rep.Errors != 0 {
+		for _, r := range rep.Results {
+			if r.Err != nil {
+				t.Errorf("job %d (%s %s): %v", r.Placement.Seq, r.Placement.Spec.Kind, r.Placement.Spec.Workload, r.Err)
+			}
+		}
+		t.Fatalf("%d job errors on a fault-free load", rep.Errors)
+	}
+	if err := srv.IdentityError(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Plan.Reuses == 0 {
+		t.Fatal("sequence-aware run found no configuration reuse on a 2-workload load")
+	}
+	var cyc int64
+	for _, r := range rep.Results {
+		if r.Placement.Spec.Kind == KindTrain {
+			cyc += r.EngineCycles
+		}
+	}
+	if cyc == 0 {
+		t.Fatal("train jobs charged zero engine cycles")
+	}
+}
+
+// TestServerDeterminism replays the same load on a fresh server and
+// requires bit-identical outcomes: placements, per-job cycle deltas,
+// and model bits.
+func TestServerDeterminism(t *testing.T) {
+	load := smallLoad(11)
+	run := func() *Report {
+		srv := newTestServer(t, load, 2)
+		rep, err := srv.Run(GenLoad(load))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a, b := run(), run()
+	for i := range a.Results {
+		ra, rb := a.Results[i], b.Results[i]
+		if ra.Placement != rb.Placement {
+			t.Fatalf("job %d placement differs:\n%+v\n%+v", i, ra.Placement, rb.Placement)
+		}
+		if ra.EngineCycles != rb.EngineCycles || ra.StriderCycles != rb.StriderCycles {
+			t.Fatalf("job %d cycles differ: (%d,%d) vs (%d,%d)",
+				i, ra.EngineCycles, ra.StriderCycles, rb.EngineCycles, rb.StriderCycles)
+		}
+		if len(ra.Model) != len(rb.Model) {
+			t.Fatalf("job %d model sizes differ", i)
+		}
+		for k := range ra.Model {
+			if ra.Model[k] != rb.Model[k] {
+				t.Fatalf("job %d model bit-differs at %d", i, k)
+			}
+		}
+	}
+}
+
+// TestMultiTenantMatchesSingleTenantPath: a tenant's jobs run through
+// the shared pool must be bit-identical to the same subsequence run on
+// a dedicated single-tenant server — scheduling may reorder across
+// tenants but must never perturb anyone's modeled cycles or models.
+func TestMultiTenantMatchesSingleTenantPath(t *testing.T) {
+	load := smallLoad(13)
+	specs := GenLoad(load)
+	srv := newTestServer(t, load, 3)
+	rep, err := srv.Run(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.IdentityError(); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, name := range srv.TenantNames() {
+		var sub []JobSpec
+		var multi []JobResult
+		for i, sp := range specs {
+			if sp.Tenant != name {
+				continue
+			}
+			sub = append(sub, sp)
+			multi = append(multi, rep.Results[i])
+		}
+		if len(sub) == 0 {
+			continue
+		}
+		solo, err := New(Config{
+			Tenants:   []TenantConfig{{Name: name, Quota: Quota{MemBytes: 1 << 30, MaxInFlight: 2}}},
+			Instances: 1,
+			Seed:      load.Seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		soloRep, err := solo.Run(sub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range sub {
+			mr, sr := multi[j], soloRep.Results[j]
+			if mr.EngineCycles != sr.EngineCycles || mr.StriderCycles != sr.StriderCycles {
+				t.Fatalf("tenant %s job %d: multi (%d,%d) cycles vs solo (%d,%d)",
+					name, j, mr.EngineCycles, mr.StriderCycles, sr.EngineCycles, sr.StriderCycles)
+			}
+			if mr.Epochs != sr.Epochs || mr.ScoredRows != sr.ScoredRows {
+				t.Fatalf("tenant %s job %d: epochs/rows differ", name, j)
+			}
+			if len(mr.Model) != len(sr.Model) {
+				t.Fatalf("tenant %s job %d: model sizes differ", name, j)
+			}
+			for k := range mr.Model {
+				if mr.Model[k] != sr.Model[k] {
+					t.Fatalf("tenant %s job %d: model bit-differs at %d", name, j, k)
+				}
+			}
+		}
+	}
+}
+
+// TestConcurrentSubmit hammers Submit from many goroutines, then drains
+// once; every accepted job must be planned and executed.
+func TestConcurrentSubmit(t *testing.T) {
+	srv := newTestServer(t, LoadConfig{Tenants: 4}, 2)
+	var wg sync.WaitGroup
+	const per = 4
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				err := srv.Submit(JobSpec{
+					Tenant: TenantName(g), Workload: "WLAN", Scale: 0.002, Epochs: 1,
+				})
+				if err != nil {
+					t.Error(err)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	rep, err := srv.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Jobs != 4*per {
+		t.Fatalf("drained %d jobs, want %d", rep.Jobs, 4*per)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("%d errors", rep.Errors)
+	}
+	if err := srv.IdentityError(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDrainCarryOver: a second drain of the same workload must reuse
+// the configuration loaded by the first.
+func TestDrainCarryOver(t *testing.T) {
+	srv := newTestServer(t, LoadConfig{Tenants: 1}, 1)
+	job := JobSpec{Tenant: TenantName(0), Workload: "Patient", Scale: 0.002, Epochs: 1}
+	r1, err := srv.Run([]JobSpec{job})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Plan.Reuses != 0 {
+		t.Fatalf("first drain reused a configuration that was never loaded")
+	}
+	r2, err := srv.Run([]JobSpec{job})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Plan.Reuses != 1 {
+		t.Fatalf("second drain did not reuse the carried configuration: %+v", r2.Plan.Placements[0])
+	}
+	if err := srv.IdentityError(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScoreAfterTrainUsesModel: scoring is accepted cold (zero model)
+// and after a train; both run to completion over the real table.
+func TestScoreAfterTrainUsesModel(t *testing.T) {
+	srv := newTestServer(t, LoadConfig{Tenants: 1}, 1)
+	tn := TenantName(0)
+	rep, err := srv.Run([]JobSpec{
+		{Tenant: tn, Kind: KindScore, Workload: "WLAN", Scale: 0.002},
+		{Tenant: tn, Kind: KindTrain, Workload: "WLAN", Scale: 0.002, Epochs: 1},
+		{Tenant: tn, Kind: KindScore, Workload: "WLAN", Scale: 0.002},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		for _, r := range rep.Results {
+			if r.Err != nil {
+				t.Errorf("%v", r.Err)
+			}
+		}
+		t.FailNow()
+	}
+	if rep.Results[0].ScoredRows == 0 || rep.Results[2].ScoredRows == 0 {
+		t.Fatalf("score jobs covered no rows: %d, %d", rep.Results[0].ScoredRows, rep.Results[2].ScoredRows)
+	}
+	if rep.Results[1].EngineCycles == 0 {
+		t.Fatal("train charged no engine cycles")
+	}
+}
+
+func TestSubmitTypedErrors(t *testing.T) {
+	srv, err := New(Config{Tenants: []TenantConfig{{
+		Name: "a", Quota: Quota{MemBytes: 1 << 10},
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Submit(JobSpec{Tenant: "ghost", Workload: "WLAN"}); !errors.Is(err, ErrUnknownTenant) {
+		t.Fatalf("unknown tenant: got %v", err)
+	}
+	if err := srv.Submit(JobSpec{Tenant: "a", Workload: "Netflix", Scale: 0.002}); !errors.Is(err, ErrUnsupportedWorkload) {
+		t.Fatalf("LRMF job: got %v", err)
+	}
+	if err := srv.Submit(JobSpec{Tenant: "a", Workload: "WLAN", Scale: 0.002}); !errors.Is(err, ErrQuotaImpossible) {
+		t.Fatalf("oversized job vs 1 KB quota: got %v", err)
+	}
+	if err := srv.Submit(JobSpec{Tenant: "a", Workload: "no such workload"}); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+// TestTenantExperimentSmoke runs the CI-sized tenants experiment
+// end-to-end: it must complete cleanly and show sequence-aware beating
+// always-reconfigure on modeled makespan.
+func TestTenantExperimentSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment in -short mode")
+	}
+	res, err := TenantExperiment(io.Discard, DefaultExperiment())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SpeedupOnMakespan <= 1 {
+		t.Fatalf("speedup %.3fx", res.SpeedupOnMakespan)
+	}
+}
