@@ -8,8 +8,10 @@
 // Experiments: table3 table4 table5 fig8 fig9 fig10 fig11 fig12 fig13
 // fig14 fig15 fig16, plus pagesweep (8/16/32 KB sensitivity), batch
 // (batch-size vs epochs-to-converge, functional), ablation (design
-// ablations), scorecard (headline paper-vs-measured summary), and
-// tenants (multi-tenant server: sequence-aware vs always-reconfigure).
+// ablations), scorecard (headline paper-vs-measured summary), tenants
+// (multi-tenant server: sequence-aware vs always-reconfigure), and
+// precision (MLWeaving any-precision weave path: modeled transfer vs
+// epochs-to-converge at 1..32 bits).
 package main
 
 import (
@@ -50,6 +52,7 @@ func main() {
 		"pagesweep": pageSweep, "batch": batchConv, "ablation": ablations,
 		"scorecard": scorecard, "schedule": schedule, "custom": custom,
 		"channels": channelSweep, "tenants": tenants,
+		"precision": precisionSweep,
 	}
 	if *exp == "all" {
 		names := make([]string, 0, len(runners))
@@ -189,6 +192,26 @@ func channelSweep(env experiments.Env) error {
 		fmt.Printf("%s,%d,%g,%.3f,%.6g,%.6g,%.3f,%t\n",
 			r.Name, r.Channels, r.Scale, r.AggregateBW/1e9,
 			r.TransferSec, r.PipelineSec, r.Speedup, r.Saturated)
+	}
+	return nil
+}
+
+// precisionSweep trains the committed seeds through the MLWeaving-style
+// any-precision weave path at 1..32 bits and prints the tradeoff curve:
+// modeled link bytes/seconds per epoch against epochs-to-converge. The
+// experiment errors — and danabench exits non-zero — if modeled
+// transfer is not monotone non-increasing as precision drops, if the
+// full-width run is not bit-identical to the accelerator path (model
+// and counters), or if any reduced-precision run misses its epoch
+// budget.
+func precisionSweep(env experiments.Env) error {
+	header("Precision sweep: any-precision weave path, transfer vs epochs-to-converge (MLWeaving tradeoff)")
+	rows, err := experiments.PrecisionSweep(env)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		fmt.Println(experiments.FormatPrecision(r))
 	}
 	return nil
 }

@@ -8,7 +8,10 @@
 //	danactl -udf my_udf.dsl -workload Patient -scale 0.01   # custom DSL file
 //	danactl -backend auto    # let the dispatcher pick the cheapest backend
 //	                         # ("" = accelerator; or an explicit
-//	                         # accelerator|tabla|cpu|sharded override)
+//	                         # accelerator|tabla|cpu|sharded|weave override)
+//	danactl -precision 8     # k-bit MLWeaving read path: features
+//	                         # quantized to 8 bits, link ships 8/32 of
+//	                         # the plane bytes (1-31; 0/32 = float path)
 //
 // Subcommands (same flags apply after the subcommand):
 //
@@ -58,8 +61,9 @@ func main() {
 		epochs   = flag.Int("epochs", 3, "training epochs")
 		pageKB   = flag.Int("page", 32, "page size in KB (8, 16, 32)")
 		channels = flag.Int("channels", 1, "modeled memory channels (1-32); partitions extraction and scales link bandwidth")
-		be       = flag.String("backend", "", `execution backend: "" = accelerator (paper path), "auto" = cheapest by modeled cost, or accelerator|tabla|cpu|sharded`)
+		be       = flag.String("backend", "", `execution backend: "" = accelerator (paper path), "auto" = cheapest by modeled cost, or accelerator|tabla|cpu|sharded|weave`)
 		segments = flag.Int("segments", 0, "sharded backend's segment fan-out (0 = Greenplum baseline's 8)")
+		bits     = flag.Int("precision", 0, "weave read precision in bits per feature (0/32 = full-width float path, 1-31 = k-bit any-precision weave path)")
 		seed     = flag.Int64("seed", 1, "dataset generator seed")
 		udfFile  = flag.String("udf", "", "optional DSL source file overriding the built-in UDF")
 		sqlStmt  = flag.String("sql", "", "optional SQL to run instead of training")
@@ -70,7 +74,7 @@ func main() {
 
 	eng, err := dana.Open(dana.Config{
 		PageSize: *pageKB << 10, PoolBytes: 256 << 20, Channels: *channels,
-		Backend: *be, Segments: *segments,
+		Backend: *be, Segments: *segments, Precision: *bits,
 	})
 	check(err)
 

@@ -45,9 +45,21 @@ type Config struct {
 	// accelerator pipeline (the paper path and historical default),
 	// "auto" lets the heterogeneous dispatcher pick the cheapest capable
 	// backend by modeled cost, and a registered name ("accelerator",
-	// "tabla", "cpu", "sharded") is an explicit override. Unknown names
-	// fail typed with backend.ErrUnknownBackend at Train time.
+	// "tabla", "cpu", "sharded", "weave") is an explicit override.
+	// Unknown names fail typed with backend.ErrUnknownBackend at Train
+	// time.
 	Backend string
+	// Precision is the MLWeaving any-precision read width in bits per
+	// feature. 0 (the default) and 32 keep the full-width float path —
+	// models and modeled counters are bit-identical to builds without
+	// the knob. 1..31 route training through the "weave" backend: each
+	// feature is quantized to k bits in a vertical bit-plane layout and
+	// the modeled link ships proportionally fewer bytes — the paper's
+	// precision-for-bandwidth tradeoff (`danabench -exp precision`
+	// sweeps it). Setting Backend to "weave" explicitly with Precision 0
+	// trains through the vertical layout at the full 32 bits. Values
+	// outside [0, 32] fail at Open.
+	Precision int
 	// Segments is the sharded backend's segment fan-out (0 = the
 	// Greenplum baseline's 8 segments). Only the "sharded" backend
 	// reads it.
@@ -124,11 +136,15 @@ func Open(cfg Config) (*Engine, error) {
 	default:
 		return nil, fmt.Errorf("dana: unsupported page size %d", cfg.PageSize)
 	}
+	if cfg.Precision < 0 || cfg.Precision > storage.WeaveMaxBits {
+		return nil, fmt.Errorf("dana: precision %d outside [0, %d]", cfg.Precision, storage.WeaveMaxBits)
+	}
 	opts := runtime.DefaultOptions()
 	opts.PageSize = cfg.PageSize
 	opts.PoolBytes = cfg.PoolBytes
 	opts.MaxEpochs = cfg.MaxEpochs
 	opts.Backend = cfg.Backend
+	opts.Precision = cfg.Precision
 	opts.Segments = cfg.Segments
 	opts.Workers = cfg.Workers
 	opts.Channels = cfg.Channels

@@ -25,6 +25,7 @@ import (
 	"dana/internal/hdfg"
 	"dana/internal/hwgen"
 	"dana/internal/ml"
+	"dana/internal/storage"
 )
 
 // Typed errors. Every "can't do that" outcome at the backend seam is
@@ -116,6 +117,14 @@ type Capabilities struct {
 	// bounds the divergence (CompareModels semantics).
 	BitExactModel  bool
 	ModelTolerance float64
+	// MinBits/MaxBits declare the weave-precision window the backend can
+	// read (MLWeaving any-precision extraction). Both zero means the
+	// backend reads only full-width float tuples: it is admissible only
+	// for jobs that request no weave precision (Job.Bits == 0). A nonzero
+	// window means the backend serves only k-bit weave requests inside
+	// it — full-width jobs never dispatch to it implicitly.
+	MinBits int
+	MaxBits int
 	// Streaming backends consume the page-extraction pipeline
 	// (Stream.Batches); non-streaming backends take materialized rows.
 	Streaming bool
@@ -146,6 +155,10 @@ type Job struct {
 	// Precision, when set, restricts dispatch to backends of that
 	// arithmetic width ("" = any).
 	Precision string
+	// Bits, when set (1..32), requests k-bit weave extraction: only
+	// backends whose Capabilities declare a covering [MinBits, MaxBits]
+	// window are admissible. 0 requests the full-width float path.
+	Bits int
 
 	Tuples       int
 	Columns      int
@@ -225,6 +238,14 @@ type Program struct {
 	// PageSize and Tuples parameterize derived design points (TABLA).
 	PageSize int
 	Tuples   int
+	// Bits is the weave read precision for any-precision backends
+	// (0 = full width, 32 planes). Full-width backends ignore it.
+	Bits int
+	// Ranges, when set, pins the weave quantization ranges (one per
+	// feature column). Nil lets the backend derive deterministic ranges
+	// from the first epoch's tuples (per-column min/max, which is
+	// delivery-order independent).
+	Ranges []storage.WeaveRange
 	// Init is the starting model (float64 view; nil = the class's
 	// canonical initialization: zeros for GLMs, seeded small uniform
 	// factors for LRMF).

@@ -43,6 +43,10 @@ type Scenario struct {
 	Init   []float64
 	Tuples [][]float64
 	Rows32 [][]float32
+	// Bits is the weave read precision the scenario requests (0 = full
+	// width). GenScenario leaves it 0; the precision-sweep tests set it
+	// explicitly.
+	Bits int
 }
 
 // GenScenario draws a scenario from one seed. Same seed, same scenario.
@@ -121,6 +125,7 @@ func BuildProgram(sc Scenario, env Env) (Program, error) {
 		MergeCoef: sc.Spec.MergeCoef,
 		PageSize:  pageSize,
 		Tuples:    len(sc.Tuples),
+		Bits:      sc.Bits,
 		Init:      append([]float64(nil), sc.Init...),
 	}, nil
 }
@@ -131,6 +136,7 @@ func JobFor(sc Scenario, p Program) Job {
 	class := Classify(p.Graph)
 	return Job{
 		Class:         class,
+		Bits:          sc.Bits,
 		Tuples:        len(sc.Tuples),
 		Columns:       sc.Spec.TupleWidth(),
 		Pages:         pages,

@@ -164,7 +164,11 @@ func TestDispatcherOverride(t *testing.T) {
 	job := jobForSeed(t, 3, env)
 
 	for _, name := range disp.Names() {
-		be, reg, err := disp.New(name, job)
+		j := job
+		if caps := mustCaps(disp, name); caps.MaxBits > 0 {
+			j.Bits = caps.MaxBits // weave-windowed backends serve only explicit k-bit jobs
+		}
+		be, reg, err := disp.New(name, j)
 		if err != nil {
 			t.Fatalf("New(%s): %v", name, err)
 		}
@@ -175,6 +179,18 @@ func TestDispatcherOverride(t *testing.T) {
 
 	if _, _, err := disp.New("gpu", job); !errors.Is(err, backend.ErrUnknownBackend) {
 		t.Errorf("New(gpu) = %v, want ErrUnknownBackend", err)
+	}
+
+	// The bits window is enforced both ways: a full-width backend cannot
+	// honor a k-bit weave request, and the weave backend does not accept
+	// full-width jobs (no silent rerouting through quantization).
+	kbit := job
+	kbit.Bits = 8
+	if _, _, err := disp.New(backend.NameAccelerator, kbit); !errors.Is(err, backend.ErrUnsupported) {
+		t.Errorf("New(accelerator, 8-bit job) = %v, want ErrUnsupported", err)
+	}
+	if _, _, err := disp.New(backend.NameWeave, job); !errors.Is(err, backend.ErrUnsupported) {
+		t.Errorf("New(weave, full-width job) = %v, want ErrUnsupported", err)
 	}
 
 	f32 := job
@@ -281,4 +297,15 @@ func TestDispatcherFailover(t *testing.T) {
 	if freg.Name != "pricey" {
 		t.Fatalf("failover with cheap faulted chose %s, want pricey", freg.Name)
 	}
+}
+
+// mustCaps returns the named backend's capability declaration without
+// dispatch admissibility checks.
+func mustCaps(disp *backend.Dispatcher, name string) backend.Capabilities {
+	for _, reg := range disp.Registrations() {
+		if reg.Name == name {
+			return reg.New(backend.ConformanceEnv()).Capabilities()
+		}
+	}
+	panic("unregistered backend " + name)
 }

@@ -51,14 +51,15 @@ type Registration struct {
 
 // Builtins returns the registrations of the backends this package
 // implements: the DAnA accelerator pipeline, the TABLA-style
-// single-threaded design, and the golden float64 CPU trainer. The
-// greenplum package contributes Sharded; the integration layer
-// assembles the full dispatcher from both.
+// single-threaded design, the golden float64 CPU trainer, and the
+// any-precision weave path. The greenplum package contributes Sharded;
+// the integration layer assembles the full dispatcher from both.
 func Builtins() []Registration {
 	return []Registration{
 		{Name: NameAccelerator, New: func(env Env) Backend { return NewAccel(env) }},
 		{Name: NameTabla, New: func(env Env) Backend { return NewTabla(env) }},
 		{Name: NameCPU, New: func(env Env) Backend { return NewCPU(env) }},
+		{Name: NameWeave, New: func(env Env) Backend { return NewWeave(env) }, Reference: WeaveReference},
 	}
 }
 
@@ -69,6 +70,7 @@ const (
 	NameTabla       = "tabla"
 	NameCPU         = "cpu"
 	NameSharded     = "sharded"
+	NameWeave       = "weave"
 	NameAuto        = "auto"
 )
 
@@ -120,12 +122,24 @@ func (d *Dispatcher) lookup(name string) (Registration, bool) {
 }
 
 // admissible reports whether the backend's capabilities cover the job's
-// class and precision.
+// class, precision, and requested weave-bit window. The bits check is
+// two-sided: a full-width backend (MaxBits == 0) cannot honor a k-bit
+// weave request, and a weave backend only serves jobs that ask for
+// weave extraction — a Bits == 0 job wants the float path and must not
+// be silently rerouted through quantization, however cheap the rewoven
+// stream prices.
 func admissible(caps Capabilities, job Job) bool {
 	if !caps.Supports(job.Class) {
 		return false
 	}
 	if job.Precision != "" && caps.Precision != job.Precision {
+		return false
+	}
+	if caps.MaxBits == 0 {
+		if job.Bits != 0 {
+			return false
+		}
+	} else if job.Bits < caps.MinBits || job.Bits > caps.MaxBits {
 		return false
 	}
 	return true

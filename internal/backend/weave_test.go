@@ -1,0 +1,298 @@
+package backend_test
+
+// Any-precision (weave) backend tests: the conformance suite across the
+// full precision ladder, the typed LRMF rejection (class-coverage leg
+// of the conformance suite), the k=32 counter/model identity against
+// the accelerator path on range-grid data, the MLWeaving-style
+// precision-sweep convergence bound, and the exact-== transfer-byte
+// identity against cost.ChannelModel.
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"dana/internal/backend"
+	"dana/internal/cost"
+	"dana/internal/ml"
+	"dana/internal/storage"
+	"dana/internal/weaving"
+)
+
+// sweepBits is the precision ladder the satellite tests walk.
+var sweepBits = []int{1, 2, 4, 8, 16, 32}
+
+func weaveRegistration(t *testing.T) backend.Registration {
+	t.Helper()
+	for _, reg := range backend.Builtins() {
+		if reg.Name == backend.NameWeave {
+			return reg
+		}
+	}
+	t.Fatal("weave backend not registered in Builtins")
+	return backend.Registration{}
+}
+
+// snapToGrid rewrites a scenario's features onto the 2⁻²³ grid of the
+// fixed range {Offset: -1, Scale: 2}: values whose normalized form is
+// an exact multiple of 2⁻²⁴ survive quantize→dequantize bit-for-bit at
+// k=32, so the rewoven epoch is byte-identical to the float epoch.
+// Labels are untouched (they are never quantized).
+func snapToGrid(sc *backend.Scenario, nfeat int) {
+	snap := func(v float64) float64 {
+		n := math.Round((v + 1) * (1 << 23))
+		if n < 0 {
+			n = 0
+		}
+		if n > (1<<24)-1 {
+			n = (1 << 24) - 1
+		}
+		return n/(1<<23) - 1
+	}
+	for i, t := range sc.Tuples {
+		for c := 0; c < nfeat; c++ {
+			t[c] = snap(t[c])
+			sc.Rows32[i][c] = float32(t[c])
+		}
+	}
+}
+
+func gridRanges(nfeat int) []storage.WeaveRange {
+	ranges := make([]storage.WeaveRange, nfeat)
+	for i := range ranges {
+		ranges[i] = storage.WeaveRange{Offset: -1, Scale: 2}
+	}
+	return ranges
+}
+
+// TestWeaveConformanceAcrossPrecisions runs the full conformance suite
+// — capability sanity, typed rejections, tolerance against the
+// declared reweaving reference, counter determinism across stream
+// delivery forms, scoring — at every rung of the precision ladder.
+func TestWeaveConformanceAcrossPrecisions(t *testing.T) {
+	reg := weaveRegistration(t)
+	env := backend.ConformanceEnv()
+	for _, seed := range []int64{1, 2, 3} { // logistic, svm, linear
+		sc := backend.GenScenario(seed)
+		for _, bits := range sweepBits {
+			sc.Bits = bits
+			if vs := backend.Check(reg, env, sc); len(vs) > 0 {
+				for _, v := range vs {
+					t.Errorf("seed %d (%s) bits=%d: %s", seed, sc.Spec.Kind, bits, v)
+				}
+			}
+		}
+	}
+}
+
+// TestWeaveRejectsLRMF pins the typed-error class-coverage leg: the
+// rating schema's integer indices are meaningless to quantize, so both
+// the dispatch surface and the storage layer refuse, each with its own
+// sentinel.
+func TestWeaveRejectsLRMF(t *testing.T) {
+	env := backend.ConformanceEnv()
+	sc := backend.GenScenario(15) // lrmf
+	sc.Bits = 8
+	p, err := backend.BuildProgram(sc, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := backend.JobFor(sc, p)
+	if job.Class != backend.ClassLRMF {
+		t.Fatalf("seed 15 classified as %s, want lrmf", job.Class)
+	}
+	be := backend.NewWeave(env)
+	if _, err := be.EstimateCost(job); !errors.Is(err, backend.ErrUnsupported) {
+		t.Errorf("EstimateCost(lrmf) = %v, want ErrUnsupported", err)
+	}
+	if err := be.Configure(p); !errors.Is(err, backend.ErrUnsupported) {
+		t.Errorf("Configure(lrmf) = %v, want ErrUnsupported", err)
+	}
+	// The storage layer agrees: the LRMF rating schema cannot be woven.
+	if err := storage.CheckWeaveSchema(storage.RatingSchema()); !errors.Is(err, storage.ErrWeaveUnsupported) {
+		t.Errorf("CheckWeaveSchema(rating) = %v, want ErrWeaveUnsupported", err)
+	}
+}
+
+// TestWeaveFullWidthMatchesAccelerator: on range-grid data with pinned
+// ranges, a 32-bit weave read reconstructs every feature bit-for-bit,
+// so the weave backend must be indistinguishable from the accelerator
+// path — model bits and modeled counters both identical. This is the
+// identity `danabench -exp precision` re-verifies on its committed
+// seed.
+func TestWeaveFullWidthMatchesAccelerator(t *testing.T) {
+	env := backend.ConformanceEnv()
+	for _, seed := range []int64{1, 2, 3} {
+		sc := backend.GenScenario(seed)
+		p, err := backend.BuildProgram(sc, env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nfeat := sc.Spec.TupleWidth() - 1
+		snapToGrid(&sc, nfeat)
+
+		accel := backend.NewAccel(env)
+		if err := accel.Configure(p); err != nil {
+			t.Fatal(err)
+		}
+		pw := p
+		pw.Bits = 32
+		pw.Ranges = gridRanges(nfeat)
+		weave := backend.NewWeave(env)
+		if err := weave.Configure(pw); err != nil {
+			t.Fatal(err)
+		}
+		for e := 0; e < sc.Spec.Epochs; e++ {
+			if err := accel.RunEpoch(&backend.Stream{Rows32: sc.Rows32}); err != nil {
+				t.Fatal(err)
+			}
+			if err := weave.RunEpoch(&backend.Stream{Rows32: sc.Rows32}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		am, wm := accel.Model(), weave.Model()
+		if len(am) == 0 || len(am) != len(wm) {
+			t.Fatalf("seed %d: model lengths %d vs %d", seed, len(am), len(wm))
+		}
+		for i := range am {
+			if math.Float64bits(am[i]) != math.Float64bits(wm[i]) {
+				t.Fatalf("seed %d: model[%d] %v (accel) != %v (weave@32) — full-width weave must be bit-identical on grid data",
+					seed, i, am[i], wm[i])
+			}
+		}
+		if ac, wc := accel.Counters(), weave.Counters(); ac != wc {
+			t.Fatalf("seed %d: counters diverge:\n  accel=%+v\n  weave=%+v", seed, ac, wc)
+		}
+	}
+}
+
+// TestWeavePrecisionSweepConvergence is the MLWeaving bound: at every
+// precision the weave-trained model must reach the golden float64
+// trainer's loss within a per-precision margin and epoch budget —
+// coarser quantization gets a wider margin (the 2⁻ᵏ quantization
+// floor) and a few more epochs, exactly the tradeoff the paper's
+// figure sweeps.
+func TestWeavePrecisionSweepConvergence(t *testing.T) {
+	env := backend.ConformanceEnv()
+	for _, seed := range []int64{1, 2} { // logistic (LR), svm
+		sc := backend.GenScenario(seed)
+		p, err := backend.BuildProgram(sc, env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		algo := sc.Spec.Algorithm()
+		golden, err := backend.GoldenReference(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		goldenLoss := ml.MeanLoss(algo, golden, sc.Tuples)
+
+		for _, bits := range sweepBits {
+			budget := weaveEpochBudget(sc.Spec.Epochs, bits)
+			margin := weaveLossMargin(bits)
+			pw := p
+			pw.Bits = bits
+			be := backend.NewWeave(env)
+			if err := be.Configure(pw); err != nil {
+				t.Fatal(err)
+			}
+			converged := -1
+			for e := 1; e <= budget; e++ {
+				if err := be.RunEpoch(&backend.Stream{Rows32: sc.Rows32}); err != nil {
+					t.Fatal(err)
+				}
+				if ml.MeanLoss(algo, be.Model(), sc.Tuples) <= goldenLoss+margin {
+					converged = e
+					break
+				}
+			}
+			if converged < 0 {
+				t.Errorf("seed %d (%s) bits=%d: loss %.6f after %d epochs never reached golden %.6f + margin %.6f",
+					seed, sc.Spec.Kind, bits, ml.MeanLoss(algo, be.Model(), sc.Tuples), budget, goldenLoss, margin)
+			}
+		}
+	}
+}
+
+// weaveEpochBudget is the per-precision epoch allowance: full epochs at
+// high precision, a few extra at the coarse end (MLWeaving observes
+// low-bit runs need more passes to the same quality).
+func weaveEpochBudget(epochs, bits int) int {
+	switch {
+	case bits >= 8:
+		return epochs
+	case bits >= 4:
+		return 2 * epochs
+	default:
+		return 4 * epochs
+	}
+}
+
+// weaveLossMargin is the per-precision loss slack over the golden
+// trainer: the quantization floor shrinks as 2⁻ᵏ plus a small float32
+// datapath allowance.
+func weaveLossMargin(bits int) float64 {
+	return 1.5*math.Pow(2, -float64(bits)) + 0.02
+}
+
+// TestWeaveTransferBytesExact is the exact-== identity against
+// cost.ChannelModel: the weave backend's modeled per-epoch transfer
+// must equal the channel model charged with the page geometry's
+// effective bytes — the same float64 expression, not a tolerance — and
+// the byte counts themselves scale exactly linearly in k.
+func TestWeaveTransferBytesExact(t *testing.T) {
+	env := backend.ConformanceEnv()
+	sc := backend.GenScenario(1)
+	p, err := backend.BuildProgram(sc, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := backend.JobFor(sc, p)
+	job.Epochs = 1 // per-epoch identity
+	nfeat := job.Columns - 1
+	g := weaving.RelationGeometry(job.Tuples, nfeat, job.PageSize)
+	be := backend.NewWeave(env)
+	var prevBytes int64 = -1
+	for _, bits := range sweepBits {
+		job.Bits = bits
+		c, err := be.EstimateCost(job)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := cost.Workload{
+			Epochs:          1,
+			Pages:           g.Pages,
+			WeaveBits:       bits,
+			WeaveFixedBytes: g.FixedBytes,
+			WeaveBitBytes:   g.BitBytes,
+		}
+		if want := cost.TransferSec(w, env.Cost); c.Breakdown.TransferSec != want {
+			t.Errorf("bits=%d: backend transfer %.12g s != channel model %.12g s (exact == required)",
+				bits, c.Breakdown.TransferSec, want)
+		}
+		bytes := g.EffectiveBytes(bits)
+		if prevBytes >= 0 {
+			// Linear in k, exactly: the byte delta per bit is BitBytes.
+			prevBits := sweepBits[indexOf(sweepBits, bits)-1]
+			if d := bytes - prevBytes; d != int64(bits-prevBits)*g.BitBytes {
+				t.Errorf("bits %d->%d: byte delta %d != %d bits × %d", prevBits, bits, d, bits-prevBits, g.BitBytes)
+			}
+		}
+		prevBytes = bytes
+	}
+	// Full-width job: weave refuses (no silent rerouting); accel charges
+	// the heap byte stream unchanged.
+	job.Bits = 0
+	if _, err := be.EstimateCost(job); !errors.Is(err, backend.ErrUnsupported) {
+		t.Errorf("EstimateCost(bits=0) = %v, want ErrUnsupported", err)
+	}
+}
+
+func indexOf(xs []int, x int) int {
+	for i, v := range xs {
+		if v == x {
+			return i
+		}
+	}
+	return -1
+}

@@ -69,16 +69,30 @@ func ChannelPages(n, c, ch int) int {
 	return (n + c - 1 - ch) / c
 }
 
+// linkBytes returns the bytes one epoch streams over the accelerator
+// link: the heap relation, or — when the workload declares a weave
+// precision — the exact rewoven prefix FixedBytes + k × BitBytes
+// (storage.WeaveFixedPageBytes / WeaveBitPageBytes summed by
+// weaving.RelationGeometry). The precision-sweep identity tests compare
+// this figure with == against the geometry.
+func linkBytes(w Workload) int64 {
+	if w.WeaveBits > 0 {
+		return w.WeaveFixedBytes + int64(w.WeaveBits)*w.WeaveBitBytes
+	}
+	return w.DatasetBytes
+}
+
 // danaTransferSec charges the page-granularity stream of the DAnA paths
 // for the whole run: epochs × the per-epoch max-over-channels transfer.
 // The arithmetic is structured so one channel reproduces the legacy
 // scalar expression epochs*DatasetBytes/(PCIeBytesPerSec*BandwidthScale)
-// bit-for-bit.
+// bit-for-bit (linkBytes is DatasetBytes whenever WeaveBits is 0).
 func danaTransferSec(w Workload, p Params) float64 {
 	c := p.Link.channels()
 	bw := ChannelBandwidth(p)
+	bytes := linkBytes(w)
 	if c == 1 {
-		return float64(w.Epochs)*float64(w.DatasetBytes)/bw +
+		return float64(w.Epochs)*float64(bytes)/bw +
 			float64(w.Epochs)*p.Link.HandshakeSec
 	}
 	pages := w.Pages
@@ -89,7 +103,7 @@ func danaTransferSec(w Workload, p Params) float64 {
 	for ch := 0; ch < c; ch++ {
 		// The channel's byte share is proportional to its page share
 		// under round-robin interleaving.
-		share := float64(w.DatasetBytes) * (float64(ChannelPages(pages, c, ch)) / float64(pages))
+		share := float64(bytes) * (float64(ChannelPages(pages, c, ch)) / float64(pages))
 		t := float64(w.Epochs)*share/bw + float64(w.Epochs)*p.Link.HandshakeSec
 		if t > worst {
 			worst = t

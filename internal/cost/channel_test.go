@@ -108,3 +108,52 @@ func TestHandshakeChargedPerChannel(t *testing.T) {
 		t.Errorf("tuple-granularity 1-channel transfer %v != legacy %v", got, legacy)
 	}
 }
+
+// TestWeaveTransferExact: with a weave precision declared, the link
+// charges exactly FixedBytes + k×BitBytes per epoch — an == identity,
+// not a tolerance — and WeaveBits = 0 keeps the legacy DatasetBytes
+// expression bit-for-bit.
+func TestWeaveTransferExact(t *testing.T) {
+	w := sampleWorkload()
+	p := Default()
+	p.Link = ChannelModel{HandshakeSec: 2e-6}
+	legacy := TransferSec(w, p)
+	if want := float64(w.DatasetBytes)/ChannelBandwidth(p) + p.Link.HandshakeSec; legacy != want {
+		t.Fatalf("legacy transfer %v != scalar expression %v", legacy, want)
+	}
+	w.WeaveFixedBytes = 3 << 20
+	w.WeaveBitBytes = 9 << 20
+	if got := TransferSec(w, p); got != legacy {
+		t.Fatalf("WeaveBits=0 must ignore weave bytes: %v != %v", got, legacy)
+	}
+	for bits := 1; bits <= 32; bits++ {
+		w.WeaveBits = bits
+		eff := w.WeaveFixedBytes + int64(bits)*w.WeaveBitBytes
+		want := float64(eff)/ChannelBandwidth(p) + p.Link.HandshakeSec
+		if got := TransferSec(w, p); got != want {
+			t.Fatalf("bits=%d: TransferSec %v != exact effective-bytes expression %v", bits, got, want)
+		}
+	}
+}
+
+// TestWeaveTransferMonotone: fewer bits can never stream more bytes —
+// the MLWeaving bandwidth tradeoff the precision sweep reproduces — on
+// one channel and across a multi-channel link alike.
+func TestWeaveTransferMonotone(t *testing.T) {
+	w := sampleWorkload()
+	w.WeaveFixedBytes = 2 << 20
+	w.WeaveBitBytes = 5 << 20
+	p := Default()
+	for _, c := range []int{1, 4} {
+		p.Link = ChannelModel{Channels: c, HandshakeSec: 1e-6}
+		prev := math.Inf(1)
+		for bits := 32; bits >= 1; bits-- {
+			w.WeaveBits = bits
+			cur := TransferSec(w, p)
+			if cur > prev {
+				t.Fatalf("channels=%d bits=%d: transfer %v > %v at %d bits", c, bits, cur, prev, bits+1)
+			}
+			prev = cur
+		}
+	}
+}

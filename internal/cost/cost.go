@@ -107,6 +107,20 @@ type Workload struct {
 	// per-tuple IGD (observed in the paper's S/E rows).
 	DAnAEpochs int
 
+	// Weave fields describe the MLWeaving vertical layout. When
+	// WeaveBits > 0 the link streams bit planes instead of heap pages:
+	// each epoch moves WeaveFixedBytes (headers, ranges, labels — paid at
+	// every precision) plus WeaveBits × WeaveBitBytes (one bit level of
+	// every feature across the relation), so transfer shrinks almost
+	// linearly with precision. DatasetBytes still describes the heap
+	// relation — disk I/O into the buffer pool is unchanged; only the
+	// accelerator link reads the rewoven form. WeaveBits == 0 is the
+	// full-width float path, charged from DatasetBytes, bit-identical to
+	// the pre-weave model.
+	WeaveBits       int
+	WeaveFixedBytes int64
+	WeaveBitBytes   int64
+
 	// Accelerator-side static schedule results (from engine.Estimate
 	// and the access engine).
 	EpochCycles             int64 // multi-threaded engine cycles per epoch

@@ -1,0 +1,36 @@
+package experiments
+
+import "testing"
+
+// TestPrecisionSweep gates the danabench precision experiment in the
+// regular test run: the sweep itself enforces transfer monotonicity,
+// the k=32 accelerator identity, and the per-precision epoch budgets
+// (it errors on any violation); the assertions here pin the sweep's
+// shape so a silently skipped point cannot pass.
+func TestPrecisionSweep(t *testing.T) {
+	rows, err := PrecisionSweep(DefaultEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(PrecisionSeeds) * len(PrecisionBits); len(rows) != want {
+		t.Fatalf("rows = %d, want %d", len(rows), want)
+	}
+	fullWidth := 0
+	for _, r := range rows {
+		if r.Bits == 32 {
+			if !r.FullWidthID {
+				t.Errorf("seed %d: full-width row not marked accelerator-identical", r.Seed)
+			}
+			fullWidth++
+		}
+		if r.Epochs < 1 || r.Epochs > r.Budget {
+			t.Errorf("seed %d at %d bits: epochs %d outside [1, %d]", r.Seed, r.Bits, r.Epochs, r.Budget)
+		}
+		if r.Loss > r.GoldenLoss+r.Margin {
+			t.Errorf("seed %d at %d bits: loss %v above golden %v + margin %v", r.Seed, r.Bits, r.Loss, r.GoldenLoss, r.Margin)
+		}
+	}
+	if fullWidth != len(PrecisionSeeds) {
+		t.Fatalf("full-width identity checked on %d seeds, want %d", fullWidth, len(PrecisionSeeds))
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"dana/internal/sql"
 	"dana/internal/storage"
 	"dana/internal/strider"
+	"dana/internal/weaving"
 )
 
 // Options configure a System.
@@ -44,9 +45,17 @@ type Options struct {
 	// accelerator pipeline (the paper path, and the historical default),
 	// "auto" lets the heterogeneous dispatcher pick the cheapest capable
 	// backend by modeled cost, and any registered name ("accelerator",
-	// "tabla", "cpu", "sharded") is an explicit override. Unknown names
-	// fail typed with backend.ErrUnknownBackend.
+	// "tabla", "cpu", "sharded", "weave") is an explicit override.
+	// Unknown names fail typed with backend.ErrUnknownBackend.
 	Backend string
+	// Precision is the MLWeaving read precision in bits per feature.
+	// 0 and 32 keep the full-width float path (bit-identical to builds
+	// without the knob); 1..31 route training through the any-precision
+	// weave backend, which quantizes features to k bits and streams
+	// proportionally fewer bytes over the modeled link. An explicit
+	// Backend of "weave" with Precision 0 reads all 32 planes (the
+	// full-width weave path). Values outside [0, 32] fail typed at Train.
+	Precision int
 	// Segments is the Sharded backend's segment count
 	// (0 = backend.DefaultSegments).
 	Segments int
@@ -390,8 +399,18 @@ func (s *System) jobFor(udf *catalog.UDF, rel *storage.Relation, acc *catalog.Ac
 	if s.Opts.MaxEpochs > 0 && epochs > s.Opts.MaxEpochs {
 		epochs = s.Opts.MaxEpochs
 	}
+	bits := 0
+	switch {
+	case s.Opts.Precision >= 1 && s.Opts.Precision < storage.WeaveMaxBits:
+		bits = s.Opts.Precision
+	case s.Opts.Backend == backend.NameWeave:
+		// An explicit weave override with no reduced precision reads all
+		// 32 planes — full-width values through the vertical layout.
+		bits = storage.WeaveMaxBits
+	}
 	return backend.Job{
 		Class:             class,
+		Bits:              bits,
 		Tuples:            rel.NumTuples(),
 		Columns:           rel.Schema.NumCols(),
 		Pages:             pages,
@@ -409,13 +428,19 @@ func (s *System) jobFor(udf *catalog.UDF, rel *storage.Relation, acc *catalog.Ac
 }
 
 // pickBackend resolves Options.Backend: "" pins the accelerator (the
-// paper path), "auto" runs cost-based dispatch, anything else is an
-// explicit override by registered name.
+// paper path) — or the weave backend when the job carries a reduced
+// read precision, since full-width backends reject k-bit jobs — "auto"
+// runs cost-based dispatch, anything else is an explicit override by
+// registered name.
 func (s *System) pickBackend(job backend.Job) (backend.Backend, backend.Registration, backend.Cost, error) {
 	name := s.Opts.Backend
 	switch name {
 	case "":
-		name = backend.NameAccelerator
+		if job.Bits > 0 {
+			name = backend.NameWeave
+		} else {
+			name = backend.NameAccelerator
+		}
 	case backend.NameAuto:
 		return s.disp.Pick(job)
 	}
@@ -437,6 +462,10 @@ func (s *System) pickBackend(job backend.Job) (backend.Backend, backend.Registra
 // tuples (narrowed through float32, the Strider datapath width, so
 // every backend sees the same values).
 func (s *System) Train(udfName, table string) (*TrainResult, error) {
+	if s.Opts.Precision < 0 || s.Opts.Precision > storage.WeaveMaxBits {
+		return nil, fmt.Errorf("%w: precision %d outside [0, %d]",
+			backend.ErrUnsupported, s.Opts.Precision, storage.WeaveMaxBits)
+	}
 	udf, err := s.DB.Cat.UDF(udfName)
 	if err != nil {
 		return nil, err
@@ -477,6 +506,7 @@ func (s *System) Train(udfName, table string) (*TrainResult, error) {
 		MergeCoef: udf.Graph.MergeCoef,
 		PageSize:  s.Opts.PageSize,
 		Tuples:    rel.NumTuples(),
+		Bits:      job.Bits,
 	}); err != nil {
 		return nil, err
 	}
@@ -571,10 +601,29 @@ func (s *System) Train(udfName, table string) (*TrainResult, error) {
 		striderSec := float64(res.Access.Cycles) / clock
 		cp := s.Opts.Cost
 		cp.BandwidthScale = nz(cp.BandwidthScale)
-		transferSec := cost.TransferSec(cost.Workload{
+		tw := cost.Workload{
 			DatasetBytes: res.Access.Pages * int64(s.Opts.PageSize),
 			Pages:        int(res.Access.Pages),
-		}, cp)
+		}
+		if job.Bits > 0 && reg.Name == backend.NameWeave {
+			// The weave path ships the vertical layout instead of heap
+			// pages: per extraction pass, FixedBytes + k×BitBytes of the
+			// relation's weave-page geometry. Pass count comes from the
+			// run's actual page stream, so retries and cached replays
+			// charge the same number of passes either way.
+			nfeat := rel.Schema.NumCols() - 1
+			g := weaving.RelationGeometry(rel.NumTuples(), nfeat, s.Opts.PageSize)
+			hp := int64(rel.NumPages())
+			if hp < 1 {
+				hp = 1
+			}
+			passes := (res.Access.Pages + hp - 1) / hp
+			tw.WeaveBits = job.Bits
+			tw.WeaveFixedBytes = passes * g.FixedBytes
+			tw.WeaveBitBytes = passes * g.BitBytes
+			tw.Pages = int(passes) * g.Pages
+		}
+		transferSec := cost.TransferSec(tw, cp)
 		pipe := engineSec
 		if striderSec > pipe {
 			pipe = striderSec
@@ -637,6 +686,10 @@ func (s *System) trainLoop(res *TrainResult, epochs int, be backend.Backend, bod
 // when the target is the CPU backend) and trace events — never a panic,
 // never a silent wrong model.
 func (s *System) failover(res *TrainResult, job backend.Job, failed backend.Backend, failedName string, udf *catalog.UDF, rel *storage.Relation, totalEpochs int) error {
+	// Degradation drops any reduced read precision: fallback targets are
+	// full-width reference trainers, and a k-bit request was a bandwidth
+	// optimization, not a semantic requirement.
+	job.Bits = 0
 	fb, freg, err := s.disp.Failover(job, failedName)
 	if err != nil {
 		return err

@@ -1,0 +1,126 @@
+package storage_test
+
+// FuzzWeavePageDecode lives in the external test package so it can
+// drive the internal/weaving extraction engine over arbitrary bytes
+// without an import cycle (weaving imports storage).
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"dana/internal/fuzzcorpus"
+	"dana/internal/storage"
+	"dana/internal/weaving"
+)
+
+// weavePageSeeds builds the committed corpus: well-formed weave pages
+// (whole and truncated at every structural boundary) plus
+// deliberately malformed headers.
+func weavePageSeeds(tb testing.TB) [][]byte {
+	rng := rand.New(rand.NewSource(7))
+	build := func(nfeat, nrows int) storage.WeavePage {
+		ranges := make([]storage.WeaveRange, nfeat)
+		for c := range ranges {
+			ranges[c] = storage.WeaveRange{Offset: -1, Scale: 2}
+		}
+		feats := make([][]float32, nrows)
+		labels := make([]float32, nrows)
+		for i := range feats {
+			row := make([]float32, nfeat)
+			for c := range row {
+				row[c] = float32(rng.Intn(1<<24))/(1<<23) - 1
+			}
+			feats[i] = row
+			labels[i] = float32(rng.NormFloat64())
+		}
+		p, err := storage.BuildWeavePage(ranges, feats, labels)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		return p
+	}
+
+	whole := build(3, 130) // 3 plane words: one partial
+	tiny := build(1, 1)
+
+	var seeds [][]byte
+	seeds = append(seeds, []byte(whole), []byte(tiny))
+	// Truncations at each structural boundary: header, ranges, labels,
+	// mid-plane, one byte short.
+	for _, cut := range []int{
+		storage.WeaveHeaderSize - 3,
+		storage.WeaveHeaderSize,
+		storage.WeaveHeaderSize + 2*storage.WeaveRangeSize,
+		storage.WeaveHeaderSize + 3*storage.WeaveRangeSize + 4*130,
+		len(whole) / 2,
+		len(whole) - 1,
+	} {
+		if cut >= 0 && cut < len(whole) {
+			seeds = append(seeds, []byte(whole[:cut]))
+		}
+	}
+	// Malformed headers: wrong magic, wrong version, huge counts, zero
+	// scale.
+	badMagic := append([]byte(nil), tiny...)
+	badMagic[0] ^= 0xFF
+	badVersion := append([]byte(nil), tiny...)
+	badVersion[4] = 0x7F
+	hugeCols := append([]byte(nil), tiny...)
+	hugeCols[6], hugeCols[7] = 0xFF, 0xFF
+	hugeRows := append([]byte(nil), tiny...)
+	hugeRows[8], hugeRows[9], hugeRows[10], hugeRows[11] = 0xFF, 0xFF, 0xFF, 0xFF
+	zeroScale := append([]byte(nil), tiny...)
+	for i := 0; i < 4; i++ {
+		zeroScale[storage.WeaveHeaderSize+4+i] = 0 // Scale float32 = 0
+	}
+	seeds = append(seeds, badMagic, badVersion, hugeCols, hugeRows, zeroScale)
+	return seeds
+}
+
+// FuzzWeavePageDecode throws arbitrary bytes at the weave page reader
+// and the any-precision extraction engine: validation and decode must
+// fail with the typed weave sentinels on garbage — never panic, never
+// over-read, never return rows from an invalid page.
+func FuzzWeavePageDecode(f *testing.F) {
+	for _, s := range weavePageSeeds(f) {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p := storage.WeavePage(data)
+		verr := p.Validate()
+		if verr != nil && !errors.Is(verr, storage.ErrWeaveCorrupt) {
+			t.Fatalf("Validate returned an untyped error: %v", verr)
+		}
+		for _, bits := range []int{1, 7, 32} {
+			e, err := weaving.NewExtractor(bits)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rows, derr := e.DecodeRows(p)
+			if verr != nil {
+				if derr == nil {
+					t.Fatalf("decode at %d bits accepted a page Validate rejects (%v)", bits, verr)
+				}
+				continue
+			}
+			if derr != nil {
+				t.Fatalf("decode at %d bits rejected a valid page: %v", bits, derr)
+			}
+			if len(rows) != p.NumRows() {
+				t.Fatalf("decode at %d bits returned %d rows from a %d-row page", bits, len(rows), p.NumRows())
+			}
+		}
+	})
+}
+
+// TestWriteWeaveCorpus regenerates the committed seed corpus when
+// DANA_WRITE_FUZZ_CORPUS is set.
+func TestWriteWeaveCorpus(t *testing.T) {
+	if !fuzzcorpus.ShouldWrite() {
+		t.Skipf("set %s=1 to regenerate the corpus", fuzzcorpus.WriteEnv)
+	}
+	if err := fuzzcorpus.WriteBytes("testdata/fuzz/FuzzWeavePageDecode", weavePageSeeds(t)); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,112 @@
+package verify
+
+// Weave oracle tests plus its mutation meta-tests: the oracle must stay
+// green on healthy pages at every precision, fire on planted bit-plane
+// corruption, and go green again when the corruption is reverted —
+// proving the oracle (not the harness) detected the fault.
+
+import (
+	"strings"
+	"testing"
+
+	"dana/internal/storage"
+)
+
+var weaveOracleBits = []int{1, 2, 4, 8, 16, 32}
+
+func weaveScenario(t *testing.T, seed int64) *WeaveScenario {
+	t.Helper()
+	g := NewGen(seed)
+	sc, err := g.WeaveScenario(storage.PageSize8K, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+// TestWeaveOracleGreen: healthy seeded scenarios pass at every read
+// precision.
+func TestWeaveOracleGreen(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		sc := weaveScenario(t, metaSeed+seed)
+		for _, bits := range weaveOracleBits {
+			if err := sc.CheckWeaveOracle(bits); err != nil {
+				t.Errorf("seed %d bits %d: %v", seed, bits, err)
+			}
+		}
+	}
+}
+
+// TestWeaveOracleDetectsCorruptMSBPlane flips one byte in the
+// most-significant bit plane: every read precision touches level 0, so
+// the oracle must fire at k=1 through k=32, and go green again on
+// restore.
+func TestWeaveOracleDetectsCorruptMSBPlane(t *testing.T) {
+	sc := weaveScenario(t, metaSeed+20)
+	p := sc.Pages[0]
+	off := p.PlaneOffset(0, 0)
+	p[off] ^= 0x04
+	for _, bits := range weaveOracleBits {
+		err := sc.CheckWeaveOracle(bits)
+		if err == nil {
+			t.Fatalf("bits %d: oracle W did not detect a flipped MSB-plane byte", bits)
+		}
+		if !strings.Contains(err.Error(), "scalar model") {
+			t.Fatalf("bits %d: expected the scalar-model leg to fire, got: %v", bits, err)
+		}
+	}
+	p[off] ^= 0x04
+	for _, bits := range weaveOracleBits {
+		if err := sc.CheckWeaveOracle(bits); err != nil {
+			t.Fatalf("post-restore bits %d: %v", bits, err)
+		}
+	}
+}
+
+// TestWeaveOracleCorruptLowPlaneRespectsWindow flips a byte in bit
+// plane 20: reads of 20 or fewer bits never touch it and must stay
+// green, deeper reads must fire — the precision window is real, not
+// cosmetic.
+func TestWeaveOracleCorruptLowPlaneRespectsWindow(t *testing.T) {
+	sc := weaveScenario(t, metaSeed+21)
+	p := sc.Pages[0]
+	off := p.PlaneOffset(20, 0)
+	p[off] ^= 0x01
+	for _, bits := range []int{1, 8, 16, 20} {
+		if err := sc.CheckWeaveOracle(bits); err != nil {
+			t.Fatalf("bits %d reads planes 0..%d only, must not see a level-20 flip: %v", bits, bits-1, err)
+		}
+	}
+	for _, bits := range []int{21, 32} {
+		if err := sc.CheckWeaveOracle(bits); err == nil {
+			t.Fatalf("bits %d: oracle W did not detect a flipped level-20 plane byte", bits)
+		}
+	}
+}
+
+// TestWeaveOracleDetectsLabelCorruption flips a stored label byte: the
+// label leg must fire at every precision (labels bypass quantization).
+func TestWeaveOracleDetectsLabelCorruption(t *testing.T) {
+	sc := weaveScenario(t, metaSeed+22)
+	p := sc.Pages[0]
+	off := storage.WeaveHeaderSize + p.NumCols()*storage.WeaveRangeSize
+	p[off] ^= 0xFF
+	err := sc.CheckWeaveOracle(32)
+	if err == nil {
+		t.Fatal("oracle W did not detect a corrupted label")
+	}
+	if !strings.Contains(err.Error(), "label") {
+		t.Fatalf("expected the label leg to fire, got: %v", err)
+	}
+}
+
+// TestWeaveOracleDetectsTruncatedPage cuts the last plane word off: the
+// page must fail validation inside the decoder, which the oracle
+// surfaces.
+func TestWeaveOracleDetectsTruncatedPage(t *testing.T) {
+	sc := weaveScenario(t, metaSeed+23)
+	sc.Pages[0] = sc.Pages[0][:len(sc.Pages[0])-8]
+	if err := sc.CheckWeaveOracle(32); err == nil {
+		t.Fatal("oracle W did not detect a truncated page")
+	}
+}

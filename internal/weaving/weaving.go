@@ -1,0 +1,304 @@
+// Package weaving is the any-precision extraction engine over the
+// vertical (MLWeaving-style) page layout in internal/storage: the
+// sibling of the Strider page walkers, but for bit-plane pages. An
+// Extractor configured for k bits reads only the first k bit levels of
+// a weave page — one contiguous prefix of the plane area — and
+// reassembles each feature's truncated fixed-point code word-parallel,
+// 64 rows per plane word, before dequantizing back into the float32
+// datapath width. Labels pass through untouched.
+//
+// The decode kernels are //dana:hotpath (allocation-free, enforced by
+// danalint hotalloc); scratch buffers live on the Extractor and are
+// grown only in Prepare. The cycle model mirrors the Strider one:
+// PageDecodeCycles prices a page as one cycle per plane word touched
+// plus one per row of assembly/dequantization, so modeled decode time —
+// like modeled transfer — shrinks almost linearly with k.
+package weaving
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"dana/internal/storage"
+)
+
+// Extractor decodes weave pages at a fixed precision. Not safe for
+// concurrent use; the host executor gives each worker its own.
+type Extractor struct {
+	bits int
+	// codes is the per-page scratch: nrows × ncols truncated codes in
+	// row-major order, reassembled from the planes.
+	codes []uint32
+}
+
+// NewExtractor builds an extractor for k-bit reads (1..32).
+func NewExtractor(bits int) (*Extractor, error) {
+	if bits < 1 || bits > storage.WeaveMaxBits {
+		return nil, fmt.Errorf("weaving: precision %d outside [1,%d]", bits, storage.WeaveMaxBits)
+	}
+	return &Extractor{bits: bits}, nil
+}
+
+// Bits returns the configured precision.
+func (e *Extractor) Bits() int { return e.bits }
+
+// Prepare sizes the scratch buffers for a page geometry. DecodePage
+// calls it; it is exported so hot loops can hoist the growth out.
+func (e *Extractor) Prepare(ncols, nrows int) {
+	n := ncols * nrows
+	if cap(e.codes) < n {
+		e.codes = make([]uint32, n)
+	}
+	e.codes = e.codes[:n]
+	for i := range e.codes {
+		e.codes[i] = 0
+	}
+}
+
+// DecodePage validates p and decodes it at the extractor's precision,
+// appending one row of ncols+1 float32 values (features then label) per
+// page row via emit. The emitted slice is reused across calls — like
+// Relation.Scan, consumers copy if they retain.
+func (e *Extractor) DecodePage(p storage.WeavePage, row []float32, emit func(row []float32) error) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	ncols, nrows := p.NumCols(), p.NumRows()
+	e.Prepare(ncols, nrows)
+	gatherPlanes(p, e.bits, e.codes)
+	if cap(row) < ncols+1 {
+		row = make([]float32, ncols+1)
+	}
+	row = row[:ncols+1]
+	for r := 0; r < nrows; r++ {
+		dequantizeRow(p, e.bits, r, e.codes[r*ncols:(r+1)*ncols], row)
+		if err := emit(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DecodeRows decodes a whole page into freshly allocated rows of
+// ncols+1 values — the materializing convenience wrapper around
+// DecodePage (tests, reference paths).
+func (e *Extractor) DecodeRows(p storage.WeavePage) ([][]float32, error) {
+	var out [][]float32
+	err := e.DecodePage(p, nil, func(row []float32) error {
+		out = append(out, append([]float32(nil), row...))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// gatherPlanes reassembles the top `bits` levels of every code on the
+// page into codes (row-major nrows × ncols), word-parallel: each plane
+// word carries 64 rows' bits at one (level, column), and all-zero words
+// — the common case for high-order planes of small values — are skipped
+// whole. The page must be validated and codes zeroed, len nrows*ncols.
+//
+//dana:hotpath
+func gatherPlanes(p storage.WeavePage, bits int, codes []uint32) {
+	ncols, nrows, pw := p.NumCols(), p.NumRows(), p.PlaneWords()
+	base := p.PlaneOffset(0, 0)
+	for level := 0; level < bits; level++ {
+		shift := uint(storage.WeaveMaxBits - 1 - level)
+		for c := 0; c < ncols; c++ {
+			off := base + ((level*ncols+c)*pw)*8
+			for w := 0; w < pw; w++ {
+				word := binary.LittleEndian.Uint64(p[off+w*8:])
+				if word == 0 {
+					continue
+				}
+				rowBase := w * 64
+				for word != 0 {
+					// Isolate the lowest set bit: row rowBase+tz has this level set.
+					tz := trailingZeros64(word)
+					word &= word - 1
+					r := rowBase + tz
+					if r >= nrows {
+						break
+					}
+					codes[r*ncols+c] |= 1 << shift
+				}
+			}
+		}
+	}
+}
+
+// dequantizeRow converts one row's truncated codes back into the
+// float32 datapath: features through the per-column affine ranges at
+// the read precision, the label verbatim. dst must hold ncols+1.
+//
+//dana:hotpath
+func dequantizeRow(p storage.WeavePage, bits, r int, codes []uint32, dst []float32) {
+	for c := 0; c < len(codes); c++ {
+		dst[c] = storage.WeaveDequantize(codes[c], bits, p.Range(c))
+	}
+	dst[len(codes)] = p.Label(r)
+}
+
+// trailingZeros64 is bits.TrailingZeros64 without the import — the de
+// Bruijn sequence form, branch-free, safe for the hotpath allocation
+// contract.
+//
+//dana:hotpath
+func trailingZeros64(x uint64) int {
+	if x == 0 {
+		return 64
+	}
+	return int(deBruijnIdx[(x&-x)*0x03f79d71b4ca8b09>>58])
+}
+
+var deBruijnIdx = [64]byte{
+	0, 1, 56, 2, 57, 49, 28, 3, 61, 58, 42, 50, 38, 29, 17, 4,
+	62, 47, 59, 36, 45, 43, 51, 22, 53, 39, 33, 30, 24, 18, 12, 5,
+	63, 55, 48, 27, 60, 41, 37, 16, 46, 35, 44, 21, 52, 32, 23, 11,
+	54, 26, 40, 15, 34, 20, 31, 10, 25, 14, 19, 9, 13, 8, 7, 6,
+}
+
+// DefaultReweaveRows is the page row budget ReweaveRows uses when the
+// caller doesn't care. Paging never changes decoded values (ranges and
+// quantization are per-value); it only shapes the byte geometry.
+const DefaultReweaveRows = 1024
+
+// ReweaveRows routes materialized rows (features then a trailing label)
+// through the vertical layout and back at k-bit precision: quantize
+// against ranges, weave into pages, decode the top k planes. It returns
+// the rewoven rows plus the ranges used — nil ranges derive per-column
+// min/max over all rows, which is delivery-order independent, so every
+// legal stream form of the same epoch reweaves identically. This is the
+// single reweaving semantics: the weave backend trains on its output
+// and its conformance reference trains the golden float64 trainer on
+// the same output.
+func ReweaveRows(rows [][]float32, ranges []storage.WeaveRange, bits, pageRows int) ([][]float32, []storage.WeaveRange, error) {
+	if len(rows) == 0 {
+		return nil, ranges, nil
+	}
+	nfeat := len(rows[0]) - 1
+	if nfeat < 1 {
+		return nil, nil, fmt.Errorf("%w: rows carry %d values, need features plus a label",
+			storage.ErrWeaveUnsupported, len(rows[0]))
+	}
+	feats := make([][]float32, len(rows))
+	labels := make([]float32, len(rows))
+	for i, r := range rows {
+		if len(r) != nfeat+1 {
+			return nil, nil, fmt.Errorf("%w: ragged row %d (%d values, want %d)",
+				storage.ErrWeaveUnsupported, i, len(r), nfeat+1)
+		}
+		feats[i] = r[:nfeat]
+		labels[i] = r[nfeat]
+	}
+	if ranges == nil {
+		ranges = storage.WeaveRanges(feats, nfeat)
+	}
+	if pageRows <= 0 || pageRows > storage.WeaveMaxRows {
+		pageRows = DefaultReweaveRows
+	}
+	e, err := NewExtractor(bits)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make([][]float32, 0, len(rows))
+	for at := 0; at < len(rows); at += pageRows {
+		end := at + pageRows
+		if end > len(rows) {
+			end = len(rows)
+		}
+		p, err := storage.BuildWeavePage(ranges, feats[at:end], labels[at:end])
+		if err != nil {
+			return nil, nil, err
+		}
+		decoded, err := e.DecodeRows(p)
+		if err != nil {
+			return nil, nil, err
+		}
+		out = append(out, decoded...)
+	}
+	return out, ranges, nil
+}
+
+// PageDecodeCycles models the cycles an any-precision Strider spends
+// decoding one weave page at k bits: one cycle per plane word streamed
+// (bits × ncols × planeWords) plus one per row for code assembly and
+// dequantization. The k=32 figure is the full-width read; lower k
+// shrinks the plane term linearly, mirroring the transfer model.
+func PageDecodeCycles(ncols, nrows, bits int) int64 {
+	if ncols < 1 || nrows < 1 {
+		return 0
+	}
+	if bits < 1 {
+		bits = 1
+	}
+	if bits > storage.WeaveMaxBits {
+		bits = storage.WeaveMaxBits
+	}
+	pw := int64((nrows + 63) / 64)
+	return int64(bits)*int64(ncols)*pw + int64(nrows)
+}
+
+// Geometry describes a relation rewoven into vertical pages: the page
+// count and the exact per-epoch byte split the transfer model charges —
+// fixed bytes (headers, ranges, labels) stream at every precision,
+// while BitBytes is the cost of ONE additional bit level across the
+// whole relation. A k-bit epoch streams FixedBytes + k×BitBytes.
+type Geometry struct {
+	Pages      int
+	PageRows   int
+	FixedBytes int64
+	BitBytes   int64
+}
+
+// EffectiveBytes returns the exact bytes one epoch streams at k bits.
+func (g Geometry) EffectiveBytes(bits int) int64 {
+	if bits < 1 {
+		bits = 1
+	}
+	if bits > storage.WeaveMaxBits {
+		bits = storage.WeaveMaxBits
+	}
+	return g.FixedBytes + int64(bits)*g.BitBytes
+}
+
+// RelationGeometry computes the weave layout of a relation with tuples
+// rows of nfeat feature columns, paged against pageSize bytes. All
+// arithmetic is exact integer math — the precision-sweep identity tests
+// compare these figures with == against the channel model's charges.
+func RelationGeometry(tuples, nfeat, pageSize int) Geometry {
+	if tuples < 1 || nfeat < 1 {
+		return Geometry{}
+	}
+	rows := storage.WeavePageRows(pageSize, nfeat)
+	g := Geometry{PageRows: rows}
+	for at := 0; at < tuples; at += rows {
+		n := tuples - at
+		if n > rows {
+			n = rows
+		}
+		g.Pages++
+		g.FixedBytes += storage.WeaveFixedPageBytes(nfeat, n)
+		g.BitBytes += storage.WeaveBitPageBytes(nfeat, n)
+	}
+	return g
+}
+
+// DecodeCycles prices decoding the whole geometry once at k bits.
+func DecodeCycles(g Geometry, tuples, nfeat, bits int) int64 {
+	var total int64
+	rows := g.PageRows
+	if rows < 1 {
+		return 0
+	}
+	for at := 0; at < tuples; at += rows {
+		n := tuples - at
+		if n > rows {
+			n = rows
+		}
+		total += PageDecodeCycles(nfeat, n, bits)
+	}
+	return total
+}
