@@ -11,16 +11,27 @@
 //	backendreg   every backend.Backend impl is registered with non-empty Capabilities
 //	shadow       no same-typed shadowing of a variable still used afterwards
 //	nilcheck     no dereference of a variable proven nil
+//	tenantflow   tenant-private System/registry/injector values stay in their tenant
+//	hotcall      //dana:hotpath allocation-freedom closed over the call graph
+//	golifecycle  go statements in server/runtime join on all paths; lock order acyclic
+//
+// The last three are interprocedural: danalint builds a module-wide
+// call graph (CHA with receiver narrowing) and per-function summaries
+// bottom-up over its SCCs, then checks whole-closure facts at each
+// call site.
 //
 // Usage:
 //
 //	danalint ./...                      # whole module, all analyzers
 //	danalint -analyzers pinbalance ./internal/runtime
 //	danalint -tests=false ./...         # skip _test.go files
+//	danalint -audit ./...               # inventory every suppression
 //
 // Findings print as file:line:col: message (analyzer). Suppress a
 // finding with `//danalint:ignore <analyzer> -- reason` on (or above)
-// the offending line.
+// the offending line. The reason tail is mandatory: `-audit` lists
+// every suppression in the module and exits non-zero if any directive
+// omits it.
 package main
 
 import (
@@ -37,6 +48,7 @@ func main() {
 		analyzers = flag.String("analyzers", "", "comma-separated analyzer names (default: all)")
 		tests     = flag.Bool("tests", true, "analyze _test.go files too")
 		list      = flag.Bool("list", false, "list available analyzers and exit")
+		audit     = flag.Bool("audit", false, "list every //danalint:ignore suppression; exit non-zero on reason-less ones")
 	)
 	flag.Parse()
 
@@ -80,6 +92,10 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *audit {
+		runAudit(pkgs)
+		return
+	}
 	findings, err := lint.RunAnalyzers(pkgs, suite)
 	if err != nil {
 		fatal(err)
@@ -89,6 +105,29 @@ func main() {
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "danalint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+		os.Exit(1)
+	}
+}
+
+// runAudit prints the module's suppression inventory and exits non-zero
+// when any directive lacks the mandatory `-- reason` tail.
+func runAudit(pkgs []*lint.Package) {
+	recs := lint.CollectSuppressionRecords(pkgs)
+	unaudited := 0
+	for _, r := range recs {
+		analyzer := r.Analyzer
+		if analyzer == "" {
+			analyzer = "(all)"
+		}
+		reason := r.Reason
+		if reason == "" {
+			reason = "<MISSING REASON>"
+			unaudited++
+		}
+		fmt.Printf("%s:%d: %-12s %s\n", r.Pos.Filename, r.Pos.Line, analyzer, reason)
+	}
+	fmt.Fprintf(os.Stderr, "danalint: %d suppression(s), %d without a reason\n", len(recs), unaudited)
+	if unaudited > 0 {
 		os.Exit(1)
 	}
 }

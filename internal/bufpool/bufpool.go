@@ -305,6 +305,7 @@ func (p *Pool) Pin(rel string, pageNo uint32) (storage.Page, error) {
 		p.obsEvict.Inc()
 	}
 	if f.page == nil {
+		//danalint:ignore hotcall -- demand-fill on first use of a frame: one page buffer per frame, reused for the pool's lifetime
 		f.page = make(storage.Page, p.pageSize)
 	}
 	retries := p.MaxReadRetries
@@ -322,6 +323,7 @@ func (p *Pool) Pin(rel string, pageNo uint32) (storage.Page, error) {
 			// The failed request still spent its latency on the device.
 			p.stats.IOSeconds += p.disk.ReadLatencySec
 			p.obsIOSec.Add(p.disk.ReadLatencySec)
+			//danalint:ignore hotcall -- wrap runs only under an injected read fault, never in the fault-free steady state
 			lastErr = fmt.Errorf("bufpool: read %v: %w", id, ierr)
 		} else {
 			src, rerr := r.Page(int(pageNo))
@@ -340,6 +342,7 @@ func (p *Pool) Pin(rel string, pageNo uint32) (storage.Page, error) {
 					p.stats.ChecksumFailures++
 					p.obsCkFailed.Inc()
 					p.obsRing.Emit(obs.EvChecksumFail, int64(pageNo), int64(attempt))
+					//danalint:ignore hotcall -- wrap runs only on a checksum failure (torn page), never in the fault-free steady state
 					lastErr = fmt.Errorf("bufpool: %v: stored checksum %#x != computed %#x: %w",
 						id, f.page.Checksum(), f.page.ComputeChecksum(), fault.ErrTornPage)
 				}

@@ -1,0 +1,43 @@
+package engine
+
+import (
+	hostrt "runtime"
+	"testing"
+)
+
+// TestSetHostWorkersClampsToHostCores pins the PR-10 hotcall fix:
+// RunBatch used to query runtime.GOMAXPROCS on every batch to cap the
+// fan-out, which put a host-runtime call on the //dana:hotpath. The cap
+// now lives in SetHostWorkers, so over-asking for workers is clamped at
+// configuration time and the hot loop reads a plain field.
+func TestSetHostWorkersClampsToHostCores(t *testing.T) {
+	old := hostrt.GOMAXPROCS(2)
+	defer hostrt.GOMAXPROCS(old)
+
+	p := linearProgWithMerge()
+	cfg := Config{Threads: 4, ACsPerThread: 2, AUsPerAC: 8, ClockHz: 150e6}
+	m, err := NewMachine(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	m.SetHostWorkers(1 << 16)
+	if m.hostWorkers != 2 {
+		t.Fatalf("hostWorkers = %d after asking for 1<<16 with GOMAXPROCS=2, want 2", m.hostWorkers)
+	}
+	m.SetHostWorkers(0)
+	if m.hostWorkers != 1 {
+		t.Fatalf("hostWorkers = %d after asking for 0, want 1", m.hostWorkers)
+	}
+	m.SetHostWorkers(2)
+	if m.hostWorkers != 2 {
+		t.Fatalf("hostWorkers = %d after asking for 2, want 2", m.hostWorkers)
+	}
+
+	// The clamped machine must still run batches correctly.
+	tuples := [][]float32{{1, 2, 3, 4, 5}, {5, 4, 3, 2, 1}}
+	if err := m.RunBatch(tuples); err != nil {
+		t.Fatal(err)
+	}
+}

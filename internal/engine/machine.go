@@ -155,6 +155,14 @@ func (m *Machine) SetHostWorkers(n int) {
 	if n < 1 {
 		n = 1
 	}
+	// Clamp to schedulable cores here, at configuration time: more
+	// workers than GOMAXPROCS cannot speed up a CPU-bound loop, and the
+	// per-batch runtime query this replaces sat on the //dana:hotpath
+	// (surfaced by the hotcall analyzer). Fan-out width changes
+	// wall-clock only, never results, so clamping early is equivalent.
+	if maxp := hostrt.GOMAXPROCS(0); n > maxp {
+		n = maxp
+	}
 	m.hostWorkers = n
 }
 
@@ -574,12 +582,7 @@ func (m *Machine) RunBatch(tuples [][]float32) error {
 	// increasing order and the shared counters below are static sums, so
 	// the partitioning is invisible to results and modeled cycles.
 	n := len(tuples)
-	W := m.hostWorkers
-	// More workers than schedulable cores cannot speed up a CPU-bound
-	// loop; the handoffs would only add overhead.
-	if maxp := hostrt.GOMAXPROCS(0); W > maxp {
-		W = maxp
-	}
+	W := m.hostWorkers // already clamped to GOMAXPROCS by SetHostWorkers
 	if W > k {
 		W = k
 	}
@@ -590,6 +593,7 @@ func (m *Machine) RunBatch(tuples [][]float32) error {
 			return perr
 		}
 	} else {
+		//danalint:ignore hotcall -- one-time lazy helper spawn; channels and goroutines are reused for the machine's lifetime
 		m.ensureHelpers(W)
 		if cap(m.partErrs) < W {
 			//danalint:ignore hotalloc -- capacity-guarded first-batch growth, reused afterwards

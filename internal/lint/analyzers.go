@@ -4,6 +4,8 @@ package lint
 // first four encode repo invariants discovered (expensively) at runtime
 // by PRs 1–4; shadow and nilcheck substitute for the x/tools vet
 // analyzers of the same names, which hermetic builds cannot install.
+// The final three (PR 10) are interprocedural: they consume the
+// module-wide call graph and summaries on Pass.Mod.
 func All() []*Analyzer {
 	return []*Analyzer{
 		PinBalance,
@@ -14,6 +16,9 @@ func All() []*Analyzer {
 		BackendReg,
 		Shadow,
 		NilCheck,
+		TenantFlow,
+		HotCall,
+		GoLifecycle,
 	}
 }
 

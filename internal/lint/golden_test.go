@@ -82,6 +82,9 @@ func TestAnalyzersGolden(t *testing.T) {
 		{BackendReg, "backendreg"},
 		{Shadow, "shadow"},
 		{NilCheck, "nilcheck"},
+		{TenantFlow, "tenantflow"},
+		{HotCall, "hotcall"},
+		{GoLifecycle, "golifecycle"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.a.Name, func(t *testing.T) {

@@ -1,0 +1,344 @@
+package lint
+
+// golifecycle enforces goroutine join discipline and lock ordering in
+// the packages where instance concurrency lives (internal/server and
+// internal/runtime — matched by package name so fixtures and scratch
+// modules participate). Two checks:
+//
+//  1. Bounded join: every `go` statement must (a) signal completion —
+//     a WaitGroup.Done, a channel close, or a channel send inside the
+//     goroutine — and (b) be joined by the spawning body — a Wait or a
+//     receive/range on the SAME object — on every CFG path from the
+//     spawn to the function's exit. A join that exists but is skipped
+//     on one early-return path is reported: that is exactly the shape
+//     of a tenant goroutine outliving Drain. Goroutines whose target
+//     is not a function literal (go t.run()) are matched loosely: any
+//     join operation in the spawner counts, since the completion
+//     signal is out of view.
+//
+//  2. Lock order: the module lock-order graph (intra-function
+//     acquisitions plus locks-held-at-call-site × callee transitive
+//     lock sets, see summary.go) must be acyclic. A cycle — including
+//     the self-loop of re-acquiring a lock already held, since lock
+//     identity is normalized per type and field — is reported at every
+//     participating edge in the current package.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// GoLifecycle enforces bounded goroutine joins and consistent lock
+// order in internal/server and internal/runtime.
+var GoLifecycle = &Analyzer{
+	Name: "golifecycle",
+	Doc: "go statements in server/runtime packages need a bounded join " +
+		"(WaitGroup or channel, on all CFG paths) and mutexes must be " +
+		"acquired in a consistent module-wide order",
+	Run: runGoLifecycle,
+}
+
+// goLifecyclePkgs names the packages under join discipline.
+var goLifecyclePkgs = map[string]bool{"server": true, "runtime": true}
+
+func runGoLifecycle(pass *Pass) error {
+	if !goLifecyclePkgs[pass.Pkg.Name()] {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkGoJoins(pass, fd)
+		}
+	}
+	checkLockOrder(pass)
+	return nil
+}
+
+// checkGoJoins verifies every go statement in fd (grouped by its
+// nearest enclosing function body, since the CFG does not enter
+// literals) against the bounded-join rule.
+func checkGoJoins(pass *Pass, fd *ast.FuncDecl) {
+	pkg := pass.Unit
+	byBody := map[*ast.BlockStmt][]*ast.GoStmt{}
+	inspectStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		body := fd.Body
+		for i := len(stack) - 1; i >= 0; i-- {
+			if lit, ok := stack[i].(*ast.FuncLit); ok {
+				body = lit.Body
+				break
+			}
+		}
+		byBody[body] = append(byBody[body], g)
+		return true
+	})
+	var bodies []*ast.BlockStmt
+	for b := range byBody {
+		bodies = append(bodies, b)
+	}
+	sort.Slice(bodies, func(i, j int) bool { return bodies[i].Pos() < bodies[j].Pos() })
+	for _, body := range bodies {
+		for _, g := range byBody[body] {
+			if ok, why := goStmtJoined(pkg, body, g); !ok {
+				pass.Reportf(g.Pos(), "go statement %s", why)
+			}
+		}
+	}
+}
+
+// goStmtJoined decides the bounded-join rule for one go statement
+// inside body. Shared with tenantflow's goroutine-capture sink.
+func goStmtJoined(pkg *Package, body *ast.BlockStmt, g *ast.GoStmt) (bool, string) {
+	signals, loose := completionSignals(pkg, g)
+	if !loose && len(signals) == 0 {
+		return false, "spawns a goroutine that signals no completion " +
+			"(no WaitGroup.Done, channel close, or channel send) — its lifetime is unbounded"
+	}
+	joined := func(n ast.Node) bool { return containsJoinOp(pkg, n, signals, loose) }
+	cfg := NewCFG(body)
+	spawn := blockContaining(cfg, g)
+	if spawn == nil {
+		// The spawn sits inside a nested literal the CFG skipped;
+		// grouping in checkGoJoins prevents this, but fail open.
+		return true, ""
+	}
+	// Scan the spawn's own block after the go statement first.
+	past := false
+	for _, n := range spawn.Nodes {
+		if n == ast.Node(g) || containsPos(n, g.Pos()) && n.Pos() <= g.Pos() {
+			past = true
+			continue
+		}
+		if past && joined(n) {
+			return true, ""
+		}
+	}
+	if !past {
+		return true, ""
+	}
+	// All-paths check: can Exit be reached from here without passing a
+	// join node?
+	visited := map[*Block]bool{spawn: true}
+	var leak func(b *Block) bool
+	leak = func(b *Block) bool {
+		for _, e := range b.Succs {
+			next := e.To
+			if visited[next] {
+				continue
+			}
+			if next == cfg.Exit {
+				return true
+			}
+			visited[next] = true
+			blocked := false
+			for _, n := range next.Nodes {
+				if joined(n) {
+					blocked = true
+					break
+				}
+			}
+			if blocked {
+				continue
+			}
+			if leak(next) {
+				return true
+			}
+		}
+		return false
+	}
+	if leak(spawn) {
+		return false, "has no bounded join on some path from spawn to return " +
+			"(WaitGroup.Wait or channel receive on its completion signal must dominate every exit)"
+	}
+	return true, ""
+}
+
+// completionSignals collects the objects the goroutine signals on:
+// receivers of WaitGroup.Done, operands of close(), channels sent to.
+// loose is true when the go target is not a literal, so the signal set
+// is out of view and any join operation should match.
+func completionSignals(pkg *Package, g *ast.GoStmt) (map[types.Object]bool, bool) {
+	lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+	if !ok {
+		return nil, true
+	}
+	signals := map[types.Object]bool{}
+	info := pkg.TypesInfo
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+				if isWaitGroupRecv(info, sel) {
+					if o := rootObject(info, sel.X); o != nil {
+						signals[o] = true
+					}
+				}
+			}
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "close" && len(n.Args) == 1 {
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+					if o := rootObject(info, n.Args[0]); o != nil {
+						signals[o] = true
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if o := rootObject(info, n.Chan); o != nil {
+				signals[o] = true
+			}
+		}
+		return true
+	})
+	return signals, false
+}
+
+// containsJoinOp reports whether node n performs a join operation —
+// WaitGroup.Wait, channel receive, or range over a channel — on one of
+// the signal objects (or any such operation when loose).
+func containsJoinOp(pkg *Package, n ast.Node, signals map[types.Object]bool, loose bool) bool {
+	info := pkg.TypesInfo
+	match := func(x ast.Expr) bool {
+		if loose {
+			return true
+		}
+		o := rootObject(info, x)
+		return o != nil && signals[o]
+	}
+	found := false
+	ast.Inspect(n, func(c ast.Node) bool {
+		if found {
+			return false
+		}
+		switch c := c.(type) {
+		case *ast.FuncLit:
+			return false // a join inside another goroutine does not join this one
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(c.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" {
+				if isWaitGroupRecv(info, sel) && match(sel.X) {
+					found = true
+				}
+			}
+		case *ast.UnaryExpr:
+			if c.Op == token.ARROW && isChannel(info.Types[c.X].Type) && match(c.X) {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if isChannel(info.Types[c.X].Type) && match(c.X) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isWaitGroupRecv reports whether sel selects a method on sync.WaitGroup.
+func isWaitGroupRecv(info *types.Info, sel *ast.SelectorExpr) bool {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return false
+	}
+	recv := s.Recv()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	return ok && named.Obj().Pkg() != nil &&
+		named.Obj().Pkg().Path() == "sync" && named.Obj().Name() == "WaitGroup"
+}
+
+// isChannel reports whether t's underlying type is a channel.
+func isChannel(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+// blockContaining finds the CFG block holding the statement.
+func blockContaining(cfg *CFG, stmt ast.Node) *Block {
+	for _, b := range cfg.Blocks {
+		for _, n := range b.Nodes {
+			if n == stmt || containsPos(n, stmt.Pos()) {
+				return b
+			}
+		}
+	}
+	return nil
+}
+
+// checkLockOrder reports lock-order-graph cycles at every participating
+// edge whose acquisition site is in the current package.
+func checkLockOrder(pass *Pass) {
+	m := pass.Mod
+	if m == nil || len(m.LockEdges) == 0 {
+		return
+	}
+	adj := map[string]map[string]bool{}
+	for _, e := range m.LockEdges {
+		if adj[e.From] == nil {
+			adj[e.From] = map[string]bool{}
+		}
+		adj[e.From][e.To] = true
+	}
+	reachMemo := map[string]map[string]bool{}
+	var reaches func(from, to string, seen map[string]bool) bool
+	reaches = func(from, to string, seen map[string]bool) bool {
+		if from == to {
+			return true
+		}
+		if seen[from] {
+			return false
+		}
+		seen[from] = true
+		for _, next := range sortedKeys(adj[from]) {
+			if reaches(next, to, seen) {
+				return true
+			}
+		}
+		return false
+	}
+	reach := func(from, to string) bool {
+		if byTo, ok := reachMemo[from]; ok {
+			if v, ok := byTo[to]; ok {
+				return v
+			}
+		} else {
+			reachMemo[from] = map[string]bool{}
+		}
+		v := reaches(from, to, map[string]bool{})
+		reachMemo[from][to] = v
+		return v
+	}
+	reported := map[string]bool{}
+	for _, e := range m.LockEdges {
+		fi, ok := m.Funcs[e.Fn]
+		if !ok || fi.Pkg != pass.Unit {
+			continue
+		}
+		key := e.From + "\x00" + e.To + "\x00" + fmt.Sprint(e.Pos)
+		if reported[key] {
+			continue
+		}
+		if e.From == e.To {
+			reported[key] = true
+			pass.Reportf(e.Pos, "lock %s acquired while already held (self-cycle in the lock-order graph)", e.To)
+			continue
+		}
+		if reach(e.To, e.From) {
+			reported[key] = true
+			pass.Reportf(e.Pos, "lock %s acquired while holding %s, but the module lock-order graph also orders %s before %s: inconsistent lock order (deadlock hazard)",
+				e.To, e.From, e.To, e.From)
+		}
+	}
+}

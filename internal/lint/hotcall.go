@@ -1,0 +1,65 @@
+package lint
+
+// hotcall closes hotalloc's guarantee over the call graph: a
+// //dana:hotpath function's own body is allocation-free (hotalloc),
+// and hotcall adds that every function it can REACH is too. The paper's
+// compute model (§4) assumes the access engine's steady-state page loop
+// never touches the Go allocator; a helper two calls down that builds a
+// slice per record would void that silently. hotcall walks each hot
+// function's call sites and reports any callee whose summary carries a
+// transitive allocation, rendering the offending chain so the
+// diagnostic names the actual allocation site, not just the call.
+//
+// Refinements and caveats, shared with the summary layer (summary.go):
+// call sites in early-exit branches are cold and exempt; allocations
+// under an audited //danalint:ignore hotalloc/hotcall suppression do
+// not propagate; calls through func values are unresolved and skipped
+// (DESIGN.md "Soundness caveats"); interface calls fan out over module
+// implementations (CHA) and report if ANY implementation allocates;
+// external callees must appear on the reviewed allocation-free
+// allowlist — unlisted externals fail closed.
+
+// HotCall enforces transitive allocation-freedom for //dana:hotpath
+// functions.
+var HotCall = &Analyzer{
+	Name: "hotcall",
+	Doc: "hotpath functions may only call callees whose summaries prove " +
+		"allocation-freedom (transitive closure of //dana:hotpath)",
+	Run: runHotCall,
+}
+
+func runHotCall(pass *Pass) error {
+	m := pass.Mod
+	if m == nil {
+		return nil
+	}
+	for _, id := range m.FuncIDs() {
+		fi := m.Funcs[id]
+		if fi.Pkg != pass.Unit || !fi.Hot {
+			continue
+		}
+		for _, site := range fi.Calls {
+			if site.Cold || site.Unresolved {
+				continue
+			}
+			verb := "calls"
+			if site.Dynamic {
+				verb = "may call (interface dispatch)"
+			}
+			for _, callee := range site.Callees {
+				if cs, ok := m.Summaries[callee]; ok {
+					if cs.TransAllocs {
+						pass.Reportf(site.Pos, "hotpath %s %s %s, which allocates: %s",
+							fi.Obj.Name(), verb, shortFuncID(callee), cs.TransAllocDesc)
+					}
+					continue
+				}
+				if why := externAllocs(callee); why != "" {
+					pass.Reportf(site.Pos, "hotpath %s %s %s: %s",
+						fi.Obj.Name(), verb, shortFuncID(callee), why)
+				}
+			}
+		}
+	}
+	return nil
+}

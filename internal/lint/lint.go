@@ -50,6 +50,16 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	// Mod is the module-wide interprocedural view (call graph and
+	// function summaries) shared by every pass of one RunAnalyzers
+	// invocation. Interprocedural analyzers (tenantflow, hotcall,
+	// golifecycle) consume it; intra-function analyzers ignore it.
+	Mod *Module
+
+	// Unit is the loader's package record for this pass, usable as a
+	// key into Mod (FuncInfo.Pkg == Unit for functions declared here).
+	Unit *Package
+
 	// Report records one finding.
 	Report func(Diagnostic)
 }
@@ -145,6 +155,7 @@ func (s suppressions) suppressed(analyzer string, pos token.Position) bool {
 // RunAnalyzers applies each analyzer to each package and returns the
 // unsuppressed findings sorted by position.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	mod := BuildModule(pkgs)
 	var findings []Finding
 	for _, pkg := range pkgs {
 		sup := collectSuppressions(pkg.Fset, pkg.Files)
@@ -155,6 +166,8 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 				Files:     pkg.Files,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.TypesInfo,
+				Mod:       mod,
+				Unit:      pkg,
 			}
 			pass.Report = func(d Diagnostic) {
 				pos := pkg.Fset.Position(d.Pos)

@@ -1,0 +1,534 @@
+package lint
+
+// Interprocedural layer, part 2: per-function summaries. Each declared
+// function gets a small lattice of facts — does its body allocate on a
+// hot (non-early-exit) path, does it spawn a goroutine, which of its
+// parameters may escape into package-level state, which locks can it
+// acquire — and the transitive closures of those facts are computed
+// bottom-up over the call graph's strongly connected components, with a
+// fixed point inside each SCC so recursion converges. Analyzers then
+// consume whole-closure facts at a single call site: hotcall asks
+// "does anything this call can reach allocate", tenantflow asks "does
+// this callee leak its argument into a package-level var", golifecycle
+// asks "what locks does this callee take while I hold mine".
+//
+// The facts are monotone booleans and sets, so the fixed point
+// terminates; all iteration is over sorted FuncIDs for determinism.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Summary is the interprocedural fact set of one function.
+type Summary struct {
+	ID string
+
+	// AllocWhat is non-empty when the body itself contains a hot-path
+	// allocation that is neither inside an early-exit branch nor
+	// covered by an audited hotalloc/hotcall suppression; AllocPos is
+	// the first such site.
+	AllocWhat string
+	AllocPos  token.Pos
+
+	// Spawns marks a go statement in the body.
+	Spawns   bool
+	SpawnPos token.Pos
+
+	// TransAllocs / TransSpawns close AllocWhat / Spawns over all
+	// non-cold call edges; TransAllocDesc renders the offending chain
+	// for diagnostics ("mid → leafAlloc: make at file.go:12").
+	TransAllocs    bool
+	TransAllocDesc string
+	TransSpawns    bool
+	TransSpawnDesc string
+
+	// Escapes maps parameter index (receiver = -1) to a description of
+	// how that parameter may reach package-level state, directly or
+	// through callees.
+	Escapes map[int]string
+
+	// TransLocks is the sorted set of lock IDs this function may
+	// acquire, directly or through callees.
+	TransLocks []string
+
+	transLockSet map[string]bool
+}
+
+// LockEdge records one "acquired while holding" pair in the module's
+// lock-order graph.
+type LockEdge struct {
+	From, To string // lock IDs: To acquired while From held
+	Pos      token.Pos
+	Fn       string // FuncID where the acquisition happens
+}
+
+// buildSummaries computes direct facts per function, then closes them
+// over Tarjan SCCs in reverse topological order (callees first), and
+// finally assembles the module lock-order graph.
+func buildSummaries(m *Module) {
+	for _, id := range m.funcIDs {
+		fi := m.Funcs[id]
+		s := &Summary{ID: id, Escapes: map[int]string{}, transLockSet: map[string]bool{}}
+		s.AllocPos, s.AllocWhat = bodyAllocation(fi.Pkg, fi.Decl, m.sups[fi.Pkg])
+		s.SpawnPos, s.Spawns = bodySpawn(fi.Decl)
+		for _, acq := range fi.lockAcqs {
+			s.transLockSet[acq.id] = true
+		}
+		m.Summaries[id] = s
+	}
+
+	for _, scc := range tarjanSCCs(m) {
+		for changed := true; changed; {
+			changed = false
+			for _, id := range scc {
+				if m.closeSummary(id) {
+					changed = true
+				}
+			}
+		}
+		// Escapes need the callee summaries stabilized first, then a
+		// fixed point of their own within the SCC (a recursive helper
+		// can leak its parameter through itself).
+		for changed := true; changed; {
+			changed = false
+			for _, id := range scc {
+				if m.computeEscapes(id) {
+					changed = true
+				}
+			}
+		}
+	}
+
+	for _, id := range m.funcIDs {
+		s := m.Summaries[id]
+		s.TransLocks = make([]string, 0, len(s.transLockSet))
+		for l := range s.transLockSet {
+			s.TransLocks = append(s.TransLocks, l)
+		}
+		sort.Strings(s.TransLocks)
+	}
+	m.buildLockEdges()
+}
+
+// closeSummary propagates callee facts into id's summary; reports
+// whether anything changed.
+func (m *Module) closeSummary(id string) bool {
+	fi := m.Funcs[id]
+	s := m.Summaries[id]
+	changed := false
+	if !s.TransAllocs && s.AllocWhat != "" {
+		s.TransAllocs = true
+		s.TransAllocDesc = fmt.Sprintf("%s at %s", s.AllocWhat, m.Fset.Position(s.AllocPos))
+		changed = true
+	}
+	if !s.TransSpawns && s.Spawns {
+		s.TransSpawns = true
+		s.TransSpawnDesc = fmt.Sprintf("go statement at %s", m.Fset.Position(s.SpawnPos))
+		changed = true
+	}
+	for _, site := range fi.Calls {
+		if site.Cold {
+			continue // early-exit branch: does not disprove steady state
+		}
+		// An audited call site (//danalint:ignore hotcall at the call)
+		// is a reviewed boundary: the callee's allocations are
+		// accounted for there and do not propagate to callers.
+		if m.sups[fi.Pkg].suppressed(HotCall.Name, m.Fset.Position(site.Pos)) {
+			continue
+		}
+		for _, callee := range site.Callees {
+			if cs, ok := m.Summaries[callee]; ok {
+				if cs.TransAllocs && !s.TransAllocs {
+					s.TransAllocs = true
+					s.TransAllocDesc = shortFuncID(callee) + " → " + cs.TransAllocDesc
+					changed = true
+				}
+				if cs.TransSpawns && !s.TransSpawns {
+					s.TransSpawns = true
+					s.TransSpawnDesc = shortFuncID(callee) + " → " + cs.TransSpawnDesc
+					changed = true
+				}
+				continue
+			}
+			if !s.TransAllocs {
+				if why := externAllocs(callee); why != "" {
+					s.TransAllocs = true
+					s.TransAllocDesc = fmt.Sprintf("%s (%s) at %s", shortFuncID(callee), why, m.Fset.Position(site.Pos))
+					changed = true
+				}
+			}
+		}
+	}
+	// Lock closure runs over every site (cold or not: an error-path
+	// acquisition still participates in ordering).
+	for _, site := range fi.Calls {
+		for _, callee := range site.Callees {
+			if cs, ok := m.Summaries[callee]; ok {
+				for l := range cs.transLockSet {
+					if !s.transLockSet[l] {
+						s.transLockSet[l] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return changed
+}
+
+// computeEscapes re-runs the intra-function taint pass for id with the
+// current callee summaries; reports whether the escape set grew.
+func (m *Module) computeEscapes(id string) bool {
+	fi := m.Funcs[id]
+	s := m.Summaries[id]
+	seeds := map[types.Object]taintOrigin{}
+	sig := fi.Obj.Type().(*types.Signature)
+	if recv := sig.Recv(); recv != nil {
+		seeds[recv] = taintOrigin{label: recv.Name(), param: -1}
+	}
+	// The parameter objects in the AST are resolved through Defs on the
+	// field names; the signature vars are the same objects.
+	for i := 0; i < sig.Params().Len(); i++ {
+		p := sig.Params().At(i)
+		seeds[p] = taintOrigin{label: p.Name(), param: i}
+	}
+	grew := false
+	record := func(idx int, why string) {
+		if idx < -1 {
+			return
+		}
+		if _, ok := s.Escapes[idx]; !ok {
+			s.Escapes[idx] = why
+			grew = true
+		}
+	}
+	runTaint(fi, taintConfig{
+		pkg:   fi.Pkg,
+		mod:   m,
+		seeds: seeds,
+		sinkGlobal: func(origins []taintOrigin, obj types.Object, pos token.Pos) {
+			for _, o := range origins {
+				record(o.param, fmt.Sprintf("stores it into package-level %s", obj.Name()))
+			}
+		},
+		sinkCall: func(origins []taintOrigin, calleeID, why string, pos token.Pos) {
+			for _, o := range origins {
+				record(o.param, fmt.Sprintf("passes it to %s, which %s", shortFuncID(calleeID), why))
+			}
+		},
+	})
+	return grew
+}
+
+// buildLockEdges assembles the module lock-order graph: intra-function
+// acquisition pairs plus, for every call site, edges from the locks
+// held at the site to everything the callee's closure can acquire.
+func (m *Module) buildLockEdges() {
+	for _, id := range m.funcIDs {
+		fi := m.Funcs[id]
+		for _, acq := range fi.lockAcqs {
+			for _, h := range acq.held {
+				m.LockEdges = append(m.LockEdges, LockEdge{From: h, To: acq.id, Pos: acq.pos, Fn: id})
+			}
+		}
+		for _, site := range fi.Calls {
+			if len(site.Held) == 0 {
+				continue
+			}
+			for _, callee := range site.Callees {
+				cs, ok := m.Summaries[callee]
+				if !ok {
+					continue
+				}
+				for _, l := range sortedKeys(cs.transLockSet) {
+					for _, h := range site.Held {
+						if h != l {
+							m.LockEdges = append(m.LockEdges, LockEdge{From: h, To: l, Pos: site.Pos, Fn: id})
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// tarjanSCCs returns the call graph's strongly connected components in
+// reverse topological order (every edge out of a component points to an
+// earlier one), restricted to module-internal edges.
+func tarjanSCCs(m *Module) [][]string {
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	var sccs [][]string
+	next := 0
+
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range m.calleesOf(v) {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var scc []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			sort.Strings(scc)
+			sccs = append(sccs, scc)
+		}
+	}
+	for _, id := range m.funcIDs {
+		if _, seen := index[id]; !seen {
+			strongconnect(id)
+		}
+	}
+	return sccs
+}
+
+// calleesOf lists the module-internal callees of id, sorted, deduped.
+func (m *Module) calleesOf(id string) []string {
+	fi := m.Funcs[id]
+	seen := map[string]bool{}
+	var out []string
+	for _, site := range fi.Calls {
+		for _, c := range site.Callees {
+			if _, ok := m.Funcs[c]; ok && !seen[c] {
+				seen[c] = true
+				out = append(out, c)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// bodyAllocation scans one body for the first allocation that is hot
+// (not in an early-exit branch) and unaudited (no hotalloc/hotcall
+// suppression on its line). The construct set mirrors hotalloc: make,
+// new, non-self append, slice/map composite literals, &literal,
+// non-deferred func literals, string concatenation and conversions.
+func bodyAllocation(pkg *Package, fn *ast.FuncDecl, sup suppressions) (token.Pos, string) {
+	selfAppends := map[*ast.CallExpr]bool{}
+	deferredLits := map[*ast.FuncLit]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || i >= len(n.Lhs) || !isBuiltinCallInfo(pkg.TypesInfo, call, "append") || len(call.Args) == 0 {
+					continue
+				}
+				if exprText(stripReslice(call.Args[0])) == exprText(n.Lhs[i]) {
+					selfAppends[call] = true
+				}
+			}
+		case *ast.DeferStmt:
+			if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+				deferredLits[lit] = true
+			}
+		}
+		return true
+	})
+
+	var firstPos token.Pos
+	var firstWhat string
+	report := func(pos token.Pos, what string, stack []ast.Node, n ast.Node) {
+		if firstWhat != "" {
+			return
+		}
+		if coldSite(n, stack) {
+			return
+		}
+		p := pkg.Fset.Position(pos)
+		if sup.suppressed(HotAlloc.Name, p) || sup.suppressed(HotCall.Name, p) {
+			return // audited: amortized or pool-fallback allocation
+		}
+		firstPos, firstWhat = pos, what
+	}
+	inspectStack(fn.Body, func(n ast.Node, stack []ast.Node) bool {
+		if firstWhat != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				if _, isBuiltin := pkg.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+					switch id.Name {
+					case "make":
+						report(n.Pos(), "make", stack, n)
+					case "new":
+						report(n.Pos(), "new", stack, n)
+					case "append":
+						if !selfAppends[n] {
+							report(n.Pos(), "append to a fresh slice", stack, n)
+						}
+					}
+					return true
+				}
+			}
+			if tv, ok := pkg.TypesInfo.Types[n.Fun]; ok && tv.IsType() && len(n.Args) == 1 {
+				dst, src := tv.Type, pkg.TypesInfo.Types[n.Args[0]].Type
+				if src != nil && ((isStringUnderlying(dst) && isByteOrRuneSlice(src)) || (isByteOrRuneSlice(dst) && isStringUnderlying(src))) {
+					report(n.Pos(), "string conversion", stack, n)
+				}
+			}
+		case *ast.CompositeLit:
+			if tv, ok := pkg.TypesInfo.Types[n]; ok && tv.Type != nil {
+				switch tv.Type.Underlying().(type) {
+				case *types.Slice:
+					report(n.Pos(), "slice literal", stack, n)
+				case *types.Map:
+					report(n.Pos(), "map literal", stack, n)
+				}
+			}
+		case *ast.FuncLit:
+			if !deferredLits[n] {
+				report(n.Pos(), "func literal (closure)", stack, n)
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, isLit := ast.Unparen(n.X).(*ast.CompositeLit); isLit {
+					report(n.Pos(), "&composite literal", stack, n)
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isStringUnderlying(pkg.TypesInfo.Types[n.X].Type) {
+				report(n.Pos(), "string concatenation", stack, n)
+			}
+		}
+		return true
+	})
+	return firstPos, firstWhat
+}
+
+// bodySpawn reports the first go statement in the body.
+func bodySpawn(fn *ast.FuncDecl) (token.Pos, bool) {
+	var pos token.Pos
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if g, ok := n.(*ast.GoStmt); ok && !found {
+			pos, found = g.Pos(), true
+		}
+		return !found
+	})
+	return pos, found
+}
+
+// externAllocFree lists external (stdlib) functions and methods proven
+// allocation-free, keyed by normalized name ("sync.Mutex.Lock"). The
+// list is an allowlist: anything external and unlisted counts as
+// allocating, so the hotcall gate fails closed and the fix is a
+// reviewed one-line addition here.
+var externAllocFree = map[string]bool{
+	"time.Now": true, "time.Since": true, "time.Sleep": true,
+	"time.Time.UnixNano": true, "time.Time.Sub": true, "time.Time.Unix": true,
+	"time.Time.IsZero": true, "time.Time.Before": true, "time.Time.After": true,
+	"time.Time.Equal":           true,
+	"time.Duration.Nanoseconds": true, "time.Duration.Seconds": true,
+	"time.Duration.Microseconds": true, "time.Duration.Milliseconds": true,
+	"sync.Mutex.Lock": true, "sync.Mutex.Unlock": true,
+	"sync.RWMutex.Lock": true, "sync.RWMutex.Unlock": true,
+	"sync.RWMutex.RLock": true, "sync.RWMutex.RUnlock": true,
+	"sync.WaitGroup.Add": true, "sync.WaitGroup.Done": true, "sync.WaitGroup.Wait": true,
+	"sync.Once.Do":    true,
+	"errors.Is":       true,
+	"errors.Unwrap":   true,
+	"sort.SearchInts": true,
+}
+
+// externAllocFreePkgs are packages whose exported API is wholly
+// allocation-free (pure arithmetic or atomic operations).
+var externAllocFreePkgs = map[string]bool{
+	"math": true, "math/bits": true, "sync/atomic": true,
+	"encoding/binary": true, "unicode/utf8": true,
+}
+
+// externAllocs classifies an external callee: empty string means proven
+// allocation-free, otherwise the reason it counts as allocating.
+func externAllocs(id string) string {
+	key, pkg := normalizeExtern(id)
+	if externAllocFree[key] || externAllocFreePkgs[pkg] {
+		return ""
+	}
+	return "not allowlisted as allocation-free"
+}
+
+// normalizeExtern maps a FuncID to an allowlist key and its package
+// path: "(*sync.Mutex).Lock" → ("sync.Mutex.Lock", "sync").
+func normalizeExtern(id string) (key, pkg string) {
+	key = strings.NewReplacer("(*", "", "(", "", ")", "").Replace(id)
+	if i := strings.LastIndex(key, "/"); i >= 0 {
+		// Trim directory components: "encoding/binary.littleEndian.Uint64"
+		// keys by its base but keeps the full path for the pkg test.
+		pkg = key[:i+1]
+		key = key[i+1:]
+	}
+	dot := strings.Index(key, ".")
+	if dot < 0 {
+		return key, pkg + key
+	}
+	return key, pkg + key[:dot]
+}
+
+// shortFuncID trims directory components of import paths embedded in a
+// FuncID, keeping only the package base name:
+// "(*dana/internal/bufpool.Pool).Pin" → "(*bufpool.Pool).Pin".
+func shortFuncID(id string) string {
+	var b strings.Builder
+	start := 0
+	for i := 0; i < len(id); i++ {
+		switch id[i] {
+		case '/':
+			start = i + 1
+		case '(', '*', ')', '.', ' ':
+			b.WriteString(id[start : i+1])
+			start = i + 1
+		}
+	}
+	b.WriteString(id[start:])
+	return b.String()
+}
+
+// sortedKeys returns map keys in sorted order (determinism).
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// isBuiltinCallInfo is isBuiltinCall without a Pass (module build runs
+// before any Pass exists).
+func isBuiltinCallInfo(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, isBuiltin := info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}

@@ -1,0 +1,305 @@
+package lint
+
+// Interprocedural layer, part 3: a small intra-function taint engine
+// shared by the escape computation in summary.go and the tenantflow
+// analyzer. Callers seed a set of tainted objects (or provide a source
+// hook that recognizes taint-introducing expressions, e.g. reads of a
+// tenant's private registry field), the engine propagates taint through
+// local assignments to a fixed point, and then fires sink hooks: writes
+// to package-level variables, arguments passed to callees whose
+// summaries say the parameter escapes, stores into another object's
+// fields, and captures by goroutines.
+//
+// Taint does NOT propagate through function return values: a call
+// result is considered clean even if the callee returns a tainted
+// input. This keeps the engine linear and is the documented caveat for
+// accessor APIs like Server.TenantObs, which intentionally hand a
+// tenant's registry to the caller.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// taintOrigin identifies where a tainted value came from.
+type taintOrigin struct {
+	label string       // human description, e.g. "tenant a's obs registry"
+	root  types.Object // base object the taint derives from (tenant var, param)
+	param int          // parameter index for escape computation; -1 receiver, -2 not a param
+	pos   token.Pos    // where the taint was introduced
+}
+
+// taintConfig wires a taint run to its client. seeds pre-taints
+// objects (parameters, for escape analysis); source recognizes
+// taint-introducing selector expressions (field reads, for tenantflow).
+// All hooks are optional.
+type taintConfig struct {
+	pkg   *Package
+	mod   *Module
+	seeds map[types.Object]taintOrigin
+
+	// source classifies a selector expression as a taint source.
+	source func(sel *ast.SelectorExpr) (taintOrigin, bool)
+
+	// sinkGlobal fires when a tainted value is written to the
+	// package-level variable obj.
+	sinkGlobal func(origins []taintOrigin, obj types.Object, pos token.Pos)
+
+	// sinkCall fires when a tainted value is passed as an argument (or
+	// receiver) to a callee whose summary says that parameter escapes;
+	// why is the callee summary's escape description.
+	sinkCall func(origins []taintOrigin, calleeID, why string, pos token.Pos)
+
+	// store fires when a tainted value is written into a field of a
+	// non-global object (base), e.g. `b.reg = a.reg`.
+	store func(origins []taintOrigin, base types.Object, sel *ast.SelectorExpr, pos token.Pos)
+
+	// goCapture fires once per (go statement, tainted captured object).
+	goCapture func(origins []taintOrigin, g *ast.GoStmt, obj types.Object)
+}
+
+// runTaint executes the propagate-then-sink passes over fi's body.
+func runTaint(fi *FuncInfo, cfg taintConfig) {
+	t := &taintRun{fi: fi, cfg: cfg, tainted: map[types.Object]taintOrigin{}}
+	for o, origin := range cfg.seeds {
+		t.tainted[o] = origin
+	}
+	// Propagation to a fixed point: each pass can only extend the
+	// tainted set, and the set is bounded by the function's objects.
+	// Three passes cover realistic chains (src -> tmp -> tmp2 -> sink);
+	// the loop exits early when a pass adds nothing.
+	for i := 0; i < 3; i++ {
+		if !t.propagate() {
+			break
+		}
+	}
+	t.sinks()
+}
+
+type taintRun struct {
+	fi      *FuncInfo
+	cfg     taintConfig
+	tainted map[types.Object]taintOrigin
+}
+
+// origins computes the taint origins of an expression. Field reads,
+// indexing, dereferences, slices, and address-taking preserve taint;
+// composite literals union their elements; calls launder it (see the
+// package comment caveat).
+func (t *taintRun) origins(e ast.Expr) []taintOrigin {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := t.cfg.pkg.TypesInfo.Uses[e]
+		if obj == nil {
+			obj = t.cfg.pkg.TypesInfo.Defs[e]
+		}
+		if origin, ok := t.tainted[obj]; ok && obj != nil {
+			return []taintOrigin{origin}
+		}
+	case *ast.SelectorExpr:
+		if t.cfg.source != nil {
+			if origin, ok := t.cfg.source(e); ok {
+				return []taintOrigin{origin}
+			}
+		}
+		return t.origins(e.X)
+	case *ast.IndexExpr:
+		return t.origins(e.X)
+	case *ast.SliceExpr:
+		return t.origins(e.X)
+	case *ast.StarExpr:
+		return t.origins(e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return t.origins(e.X)
+		}
+	case *ast.TypeAssertExpr:
+		return t.origins(e.X)
+	case *ast.CompositeLit:
+		var out []taintOrigin
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			out = append(out, t.origins(el)...)
+		}
+		return out
+	case *ast.CallExpr:
+		// Conversions preserve taint; real calls launder it.
+		if tv, ok := t.cfg.pkg.TypesInfo.Types[e.Fun]; ok && tv.IsType() && len(e.Args) == 1 {
+			return t.origins(e.Args[0])
+		}
+	}
+	return nil
+}
+
+// propagate walks the body once, tainting locals assigned from tainted
+// expressions. Reports whether the tainted set grew.
+func (t *taintRun) propagate() bool {
+	grew := false
+	taint := func(lhs ast.Expr, origin taintOrigin) {
+		obj := bindingOf(t.cfg.pkg.TypesInfo, ast.Unparen(lhs))
+		if obj == nil {
+			return
+		}
+		if _, ok := t.tainted[obj]; !ok {
+			t.tainted[obj] = origin
+			grew = true
+		}
+	}
+	ast.Inspect(t.fi.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i, rhs := range n.Rhs {
+					if origins := t.origins(rhs); len(origins) > 0 {
+						taint(n.Lhs[i], origins[0])
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			if len(n.Names) == len(n.Values) {
+				for i, v := range n.Values {
+					if origins := t.origins(v); len(origins) > 0 {
+						taint(n.Names[i], origins[0])
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			if origins := t.origins(n.X); len(origins) > 0 {
+				if n.Value != nil {
+					taint(n.Value, origins[0])
+				}
+				if n.Key != nil {
+					taint(n.Key, origins[0])
+				}
+			}
+		}
+		return true
+	})
+	return grew
+}
+
+// sinks walks the body once firing the configured sink hooks.
+func (t *taintRun) sinks() {
+	ast.Inspect(t.fi.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if len(n.Lhs) != len(n.Rhs) || i >= len(n.Lhs) {
+					break
+				}
+				origins := t.origins(rhs)
+				if len(origins) == 0 {
+					continue
+				}
+				t.sinkWrite(n.Lhs[i], origins, n.Pos())
+			}
+		case *ast.CallExpr:
+			t.sinkCallSite(n)
+		case *ast.GoStmt:
+			t.sinkGoCapture(n)
+		}
+		return true
+	})
+}
+
+// sinkWrite classifies one tainted write: package-level variable →
+// sinkGlobal; field of some other object → store.
+func (t *taintRun) sinkWrite(lhs ast.Expr, origins []taintOrigin, pos token.Pos) {
+	lhs = ast.Unparen(lhs)
+	info := t.cfg.pkg.TypesInfo
+	root := rootObject(info, lhs)
+	if root == nil {
+		return
+	}
+	if isPackageLevelVar(root) {
+		if t.cfg.sinkGlobal != nil {
+			t.cfg.sinkGlobal(origins, root, pos)
+		}
+		return
+	}
+	if sel, ok := lhs.(*ast.SelectorExpr); ok && t.cfg.store != nil {
+		t.cfg.store(origins, root, sel, pos)
+	}
+}
+
+// sinkCallSite maps tainted arguments onto the callee summaries'
+// escaping parameters.
+func (t *taintRun) sinkCallSite(call *ast.CallExpr) {
+	if t.cfg.sinkCall == nil || t.cfg.mod == nil {
+		return
+	}
+	site := t.fi.Site(call)
+	if site == nil {
+		return
+	}
+	// Receiver of a method call counts as parameter -1.
+	var recvOrigins []taintOrigin
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if s, isSel := t.cfg.pkg.TypesInfo.Selections[sel]; isSel && s.Kind() == types.MethodVal {
+			recvOrigins = t.origins(sel.X)
+		}
+	}
+	for _, calleeID := range site.Callees {
+		cs, ok := t.cfg.mod.Summaries[calleeID]
+		if !ok {
+			continue
+		}
+		if why, esc := cs.Escapes[-1]; esc && len(recvOrigins) > 0 {
+			t.cfg.sinkCall(recvOrigins, calleeID, why, call.Pos())
+		}
+		for i, arg := range call.Args {
+			why, esc := cs.Escapes[i]
+			if !esc {
+				continue
+			}
+			if origins := t.origins(arg); len(origins) > 0 {
+				t.cfg.sinkCall(origins, calleeID, why, arg.Pos())
+			}
+		}
+	}
+}
+
+// sinkGoCapture reports tainted objects referenced inside a go
+// statement's function (literal body or call arguments) that were
+// declared outside it.
+func (t *taintRun) sinkGoCapture(g *ast.GoStmt) {
+	if t.cfg.goCapture == nil {
+		return
+	}
+	info := t.cfg.pkg.TypesInfo
+	seen := map[types.Object]bool{}
+	ast.Inspect(g.Call, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		origin, tainted := t.tainted[obj]
+		if !tainted || seen[obj] {
+			return true
+		}
+		// Declared inside the go statement (e.g. the goroutine's own
+		// parameter shadowing a tainted name) → not a capture.
+		if containsPos(g, obj.Pos()) {
+			return true
+		}
+		seen[obj] = true
+		t.cfg.goCapture([]taintOrigin{origin}, g, obj)
+		return true
+	})
+}
+
+// isPackageLevelVar reports whether obj is a package-scoped variable.
+func isPackageLevelVar(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil {
+		return false
+	}
+	return v.Parent() == v.Pkg().Scope()
+}

@@ -1,0 +1,194 @@
+package lint
+
+// tenantflow is the static twin of the chaos suite's structural
+// isolation proof (PR 8): each tenant on the multi-tenant server owns a
+// private runtime System, obs registry, and fault injector, and nothing
+// derived from them may leave the tenant. The taint engine (taint.go)
+// seeds on reads of a protected field from a tenant-shaped struct —
+// a struct carrying a *runtime.System plus at least one more protected
+// resource, which is exactly the server's tenant record and not the
+// Server itself — and reports when a tainted value:
+//
+//   - is written to a package-level variable (directly, or by passing
+//     it to a callee whose summary says that parameter escapes),
+//   - is stored into a DIFFERENT tenant-shaped value's field
+//     (cross-tenant aliasing, e.g. a.reg = b.reg), or
+//   - is captured by a goroutine with no bounded join (per
+//     golifecycle's rule), which could outlive Drain and touch the
+//     registry after teardown.
+//
+// Deliberate non-sinks: returning a tenant resource is allowed —
+// Server.TenantObs hands a tenant's registry to the embedding process
+// by design — and taint does not flow through call RESULTS (the
+// documented laundering caveat in taint.go), so accessor chains are
+// the embedder's responsibility, not this analyzer's.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// TenantFlow reports tenant-private state escaping its tenant.
+var TenantFlow = &Analyzer{
+	Name: "tenantflow",
+	Doc: "values derived from a tenant's private System/obs registry/fault " +
+		"injector must not flow into package-level vars, another tenant, or " +
+		"unjoined goroutines",
+	Run: runTenantFlow,
+}
+
+// protectedTypes names the per-tenant resources, keyed by declaring
+// package NAME and type name — package name rather than path so scratch
+// modules (scratch/runtime) and fixtures participate.
+var protectedTypes = map[[2]string]string{
+	{"runtime", "System"}: "runtime.System",
+	{"obs", "Registry"}:   "obs.Registry",
+	{"fault", "Injector"}: "fault.Injector",
+}
+
+// protectedTypeName classifies t (or *t) as a protected resource.
+func protectedTypeName(t types.Type) (string, bool) {
+	if t == nil {
+		return "", false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return "", false
+	}
+	name, ok := protectedTypes[[2]string{named.Obj().Pkg().Name(), named.Obj().Name()}]
+	return name, ok
+}
+
+// tenantShaped reports whether t looks like a per-tenant record: a
+// struct holding a *runtime.System AND at least one other protected
+// resource. The server's tenant struct qualifies; Server itself (one
+// registry, no per-tenant System field) does not.
+func tenantShaped(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	hasSystem := false
+	protected := 0
+	for i := 0; i < st.NumFields(); i++ {
+		if name, ok := protectedTypeName(st.Field(i).Type()); ok {
+			protected++
+			if name == "runtime.System" {
+				hasSystem = true
+			}
+		}
+	}
+	return hasSystem && protected >= 2
+}
+
+func runTenantFlow(pass *Pass) error {
+	m := pass.Mod
+	if m == nil {
+		return nil
+	}
+	for _, id := range m.FuncIDs() {
+		fi := m.Funcs[id]
+		if fi.Pkg != pass.Unit {
+			continue
+		}
+		checkTenantFlow(pass, fi)
+	}
+	return nil
+}
+
+func checkTenantFlow(pass *Pass, fi *FuncInfo) {
+	pkg := fi.Pkg
+	info := pkg.TypesInfo
+	runTaint(fi, taintConfig{
+		pkg: pkg,
+		mod: pass.Mod,
+		source: func(sel *ast.SelectorExpr) (taintOrigin, bool) {
+			s, ok := info.Selections[sel]
+			if !ok || s.Kind() != types.FieldVal {
+				return taintOrigin{}, false
+			}
+			resource, ok := protectedTypeName(s.Type())
+			if !ok {
+				return taintOrigin{}, false
+			}
+			xt := info.Types[sel.X].Type
+			if !tenantShaped(xt) {
+				return taintOrigin{}, false
+			}
+			root := rootObject(info, sel.X)
+			label := fmt.Sprintf("%s (%s of tenant value %s)", resource, sel.Sel.Name, nameOf(root))
+			return taintOrigin{label: label, root: root, param: -2, pos: sel.Pos()}, true
+		},
+		sinkGlobal: func(origins []taintOrigin, obj types.Object, pos token.Pos) {
+			for _, o := range origins {
+				pass.Reportf(pos, "tenant-private %s flows into package-level var %s: breaks tenant isolation",
+					o.label, obj.Name())
+			}
+		},
+		sinkCall: func(origins []taintOrigin, calleeID, why string, pos token.Pos) {
+			for _, o := range origins {
+				pass.Reportf(pos, "tenant-private %s passed to %s, which %s: breaks tenant isolation",
+					o.label, shortFuncID(calleeID), why)
+			}
+		},
+		store: func(origins []taintOrigin, base types.Object, sel *ast.SelectorExpr, pos token.Pos) {
+			if base == nil || !tenantShaped(base.Type()) {
+				return
+			}
+			for _, o := range origins {
+				if o.root != nil && o.root != base {
+					pass.Reportf(pos, "tenant-private %s stored into field %s of a different tenant value %s: cross-tenant aliasing",
+						o.label, sel.Sel.Name, base.Name())
+				}
+			}
+		},
+		goCapture: func(origins []taintOrigin, g *ast.GoStmt, obj types.Object) {
+			body := enclosingGoBody(fi.Decl, g)
+			if ok, _ := goStmtJoined(pkg, body, g); ok {
+				return
+			}
+			for _, o := range origins {
+				pass.Reportf(g.Pos(), "tenant-private %s captured by a goroutine with no bounded join: may outlive Drain",
+					o.label)
+			}
+		},
+	})
+}
+
+// enclosingGoBody finds the nearest function body (literal or the
+// declaration's own) that lexically contains g, for the join check.
+func enclosingGoBody(fd *ast.FuncDecl, g *ast.GoStmt) *ast.BlockStmt {
+	body := fd.Body
+	inspectStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		if n != ast.Node(g) {
+			return true
+		}
+		for i := len(stack) - 1; i >= 0; i-- {
+			if lit, ok := stack[i].(*ast.FuncLit); ok {
+				body = lit.Body
+				return false
+			}
+		}
+		return false
+	})
+	return body
+}
+
+// nameOf renders an object name for diagnostics, tolerating nil.
+func nameOf(obj types.Object) string {
+	if obj == nil {
+		return "<expr>"
+	}
+	return obj.Name()
+}

@@ -1,0 +1,106 @@
+// Package server exercises the golifecycle analyzer (which scopes by
+// package NAME, so this fixture declares package server): every go
+// statement needs a completion signal inside the goroutine and a join
+// on that signal covering all CFG paths from spawn to return, and the
+// module lock-order graph must stay acyclic.
+package server
+
+import "sync"
+
+type worker struct {
+	wg sync.WaitGroup
+}
+
+func (w *worker) run() {}
+
+func unjoined(n int) {
+	for i := 0; i < n; i++ {
+		go func() { // want `go statement spawns a goroutine that signals no completion`
+			_ = i * 2
+		}()
+	}
+}
+
+func wgJoined(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+func joinMissedOnPath(early bool) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want `go statement has no bounded join on some path`
+		defer wg.Done()
+	}()
+	if early {
+		return
+	}
+	wg.Wait()
+}
+
+func chanJoined() int {
+	ch := make(chan int)
+	go func() {
+		ch <- 42
+	}()
+	return <-ch
+}
+
+// looseJoined spawns a method value: the goroutine body is out of view,
+// so any join operation in the spawner satisfies the loose rule.
+func looseJoined(w *worker) {
+	w.wg.Add(1)
+	go w.run()
+	w.wg.Wait()
+}
+
+type pair struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+func lockAB(p *pair) {
+	p.a.Lock()
+	p.b.Lock() // want `lock server.pair.b acquired while holding server.pair.a`
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+func lockBA(p *pair) {
+	p.b.Lock()
+	p.a.Lock() // want `lock server.pair.a acquired while holding server.pair.b`
+	p.a.Unlock()
+	p.b.Unlock()
+}
+
+type ordered struct {
+	outer sync.Mutex
+	inner sync.Mutex
+}
+
+func lockOrdered1(o *ordered) {
+	o.outer.Lock()
+	o.inner.Lock()
+	o.inner.Unlock()
+	o.outer.Unlock()
+}
+
+func lockOrdered2(o *ordered) {
+	o.outer.Lock()
+	defer o.outer.Unlock()
+	o.inner.Lock()
+	defer o.inner.Unlock()
+}
+
+func reLock(p *pair) {
+	p.a.Lock()
+	p.a.Lock() // want `lock server.pair.a acquired while already held \(self-cycle`
+	p.a.Unlock()
+	p.a.Unlock()
+}

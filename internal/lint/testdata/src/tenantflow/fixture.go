@@ -1,0 +1,63 @@
+// Package fixture exercises the tenantflow analyzer: values derived
+// from a tenant's private System / obs registry / fault injector must
+// not reach package-level vars (directly or through an escaping callee
+// parameter), another tenant's fields, or goroutines with no bounded
+// join. Returning a tenant resource (the TenantObs pattern) is allowed.
+package fixture
+
+import (
+	"dana/internal/fault"
+	"dana/internal/obs"
+	"dana/internal/runtime"
+)
+
+// tenant mirrors the server's per-tenant record: a private System plus
+// other protected resources makes the struct tenant-shaped.
+type tenant struct {
+	name string
+	sys  *runtime.System
+	reg  *obs.Registry
+	inj  *fault.Injector
+}
+
+var leakedReg *obs.Registry
+
+func storeGlobal(t *tenant) {
+	leakedReg = t.reg // want `tenant-private obs.Registry .* flows into package-level var leakedReg`
+}
+
+// publish is the escaping helper: its summary records that parameter 0
+// reaches a package-level var.
+func publish(r *obs.Registry) {
+	leakedReg = r
+}
+
+func viaHelper(t *tenant) {
+	publish(t.reg) // want `tenant-private obs.Registry .* passed to tenantflow.publish, which stores it into package-level leakedReg`
+}
+
+func crossTenant(a, b *tenant) {
+	a.reg = b.reg // want `tenant-private obs.Registry .* stored into field reg of a different tenant value a`
+}
+
+func leakGoroutine(t *tenant) {
+	r := t.reg
+	go func() { // want `tenant-private obs.Registry .* captured by a goroutine with no bounded join`
+		r.Counter("fixture.leak")
+	}()
+}
+
+func joinedGoroutine(t *tenant) {
+	r := t.reg
+	done := make(chan struct{})
+	go func() {
+		r.Counter("fixture.ok")
+		close(done)
+	}()
+	<-done
+}
+
+// accessor returns the registry: deliberate API surface, not a sink.
+func accessor(t *tenant) *obs.Registry {
+	return t.reg
+}

@@ -337,11 +337,14 @@ func (r *epochRunner) quarantine(vmIdx, pageNo int) {
 // checkDeadline enforces the per-epoch wall-clock budget cooperatively
 // (checked at page granularity by workers and coordinator alike).
 func (r *epochRunner) checkDeadline() error {
-	if r.deadline.IsZero() || time.Now().Before(r.deadline) {
-		return nil
+	if !r.deadline.IsZero() && !time.Now().Before(r.deadline) {
+		// Early-exit error branch: the wrap allocation is cold, so hot
+		// callers (flushSerialGroup, extractShard) keep their proven
+		// steady-state allocation-freedom.
+		return fmt.Errorf("runtime: epoch %d exceeded its %v budget: %w",
+			r.epoch, r.s.Opts.EpochTimeout, fault.ErrEpochTimeout)
 	}
-	return fmt.Errorf("runtime: epoch %d exceeded its %v budget: %w",
-		r.epoch, r.s.Opts.EpochTimeout, fault.ErrEpochTimeout)
+	return nil
 }
 
 // extract runs one page through Strider vmIdx with injected-stall and

@@ -67,6 +67,7 @@ func (vm *VM) BytesWritten() int { return vm.writes }
 func (vm *VM) Run(page []byte) error {
 	vm.page = page
 	if cap(vm.out) < vm.reserve {
+		//danalint:ignore hotcall -- capacity-guarded emit-buffer growth, reused across pages
 		vm.out = make([]byte, 0, vm.reserve)
 	}
 	vm.out = vm.out[:0]
